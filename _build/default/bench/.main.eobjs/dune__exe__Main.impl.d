@@ -1,0 +1,1 @@
+bench/main.ml: Arg Format List Perf Slowcc String Unix

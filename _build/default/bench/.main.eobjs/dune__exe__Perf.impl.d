@@ -1,0 +1,1 @@
+bench/perf.ml: Analyze Bechamel Benchmark Cc Engine Hashtbl Instance List Measure Netsim Printf Slowcc Staged Test Time Toolkit

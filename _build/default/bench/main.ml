@@ -1,0 +1,49 @@
+(* Reproduction harness: regenerates every table/figure of the paper.
+
+   dune exec bench/main.exe                 -- all figures, full sweeps
+   dune exec bench/main.exe -- --quick      -- shrunk sweeps (minutes)
+   dune exec bench/main.exe -- --only fig7  -- a single figure
+   dune exec bench/main.exe -- --perf       -- bechamel micro-benchmarks *)
+
+let () =
+  let quick = ref false and only = ref [] and perf = ref false in
+  let outdir = ref "" in
+  let args =
+    [
+      ("--quick", Arg.Set quick, "shrink sweeps and durations");
+      ( "--only",
+        Arg.String (fun s -> only := s :: !only),
+        "run a single experiment id (repeatable)" );
+      ("--perf", Arg.Set perf, "run simulator micro-benchmarks instead");
+      ( "--outdir",
+        Arg.Set_string outdir,
+        "also write each table as <dir>/<id>.csv" );
+    ]
+  in
+  Arg.parse args
+    (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
+    "bench/main.exe [--quick] [--only figN]... [--perf]";
+  let fmt = Format.std_formatter in
+  if !perf then Perf.run ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let emit table =
+      Slowcc.Table.print fmt table;
+      Format.pp_print_flush fmt ();
+      if !outdir <> "" then
+        ignore (Slowcc.Table.save_csv ~dir:!outdir table)
+    in
+    (match !only with
+    | [] -> ignore (Slowcc.Experiments.all ~emit ~quick:!quick ())
+    | names ->
+      List.iter
+        (fun name ->
+          match Slowcc.Experiments.run_by_name ~quick:!quick name with
+          | Some tables -> List.iter emit tables
+          | None ->
+            Format.eprintf "unknown experiment %s (known: %s)@." name
+              (String.concat ", " Slowcc.Experiments.names))
+        (List.rev names));
+    Format.fprintf fmt "@.total wall time: %.1f s@."
+      (Unix.gettimeofday () -. t0)
+  end

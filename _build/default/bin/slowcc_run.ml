@@ -1,0 +1,164 @@
+(* Command-line driver for the paper's experiments.
+
+   slowcc_run list                 enumerate experiment ids
+   slowcc_run run fig7 [--quick]   reproduce one figure
+   slowcc_run all [--quick]        reproduce everything
+   slowcc_run compete ...          ad-hoc two-protocol fairness run *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps and durations.")
+
+let list_cmd =
+  let run () =
+    List.iter print_endline Slowcc.Experiments.names;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment identifiers")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig7.")
+  in
+  let run verbose quick name =
+    setup_logs verbose;
+    match Slowcc.Experiments.run_by_name ~quick name with
+    | Some tables ->
+      List.iter (Slowcc.Table.print fmt) tables;
+      0
+    | None ->
+      Format.eprintf "unknown experiment %s; try 'slowcc_run list'@." name;
+      1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment and print its table")
+    Term.(const run $ verbose_arg $ quick_arg $ name_arg)
+
+let all_cmd =
+  let run quick =
+    List.iter (Slowcc.Table.print fmt) (Slowcc.Experiments.all ~quick ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in figure order")
+    Term.(const run $ quick_arg)
+
+let protocol_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "cannot parse protocol %S (try tcp:2, tcp-sack:2, rap:8, sqrt:2, \
+              iiad:2, tfrc:6, tfrc+sc:256, tear:8)"
+             s))
+    in
+    match String.split_on_char ':' s with
+    | [ "tcp"; g ] -> (
+      match float_of_string_opt g with
+      | Some g -> Ok (Slowcc.Protocol.tcp ~gamma:g)
+      | None -> fail ())
+    | [ "tcp-sack"; g ] -> (
+      match float_of_string_opt g with
+      | Some g -> Ok (Slowcc.Protocol.tcp_sack ~gamma:g)
+      | None -> fail ())
+    | [ "tear"; n ] -> (
+      match int_of_string_opt n with
+      | Some rounds -> Ok (Slowcc.Protocol.tear ~rounds)
+      | None -> fail ())
+    | [ "rap"; g ] -> (
+      match float_of_string_opt g with
+      | Some g -> Ok (Slowcc.Protocol.rap ~gamma:g)
+      | None -> fail ())
+    | [ "sqrt"; g ] -> (
+      match float_of_string_opt g with
+      | Some g -> Ok (Slowcc.Protocol.sqrt_ ~gamma:g)
+      | None -> fail ())
+    | [ "iiad"; g ] -> (
+      match float_of_string_opt g with
+      | Some g -> Ok (Slowcc.Protocol.iiad ~gamma:g)
+      | None -> fail ())
+    | [ "tfrc"; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Slowcc.Protocol.tfrc ~k ())
+      | None -> fail ())
+    | [ "tfrc+sc"; k ] -> (
+      match int_of_string_opt k with
+      | Some k -> Ok (Slowcc.Protocol.tfrc ~conservative:true ~k ())
+      | None -> fail ())
+    | _ -> fail ()
+  in
+  let print fmt p = Format.pp_print_string fmt (Slowcc.Protocol.name p) in
+  Arg.conv (parse, print)
+
+let compete_cmd =
+  let proto_a =
+    Arg.(
+      value
+      & opt protocol_conv (Slowcc.Protocol.tcp ~gamma:2.)
+      & info [ "a" ] ~docv:"PROTO" ~doc:"First protocol group.")
+  in
+  let proto_b =
+    Arg.(
+      value
+      & opt protocol_conv (Slowcc.Protocol.tfrc ~k:6 ())
+      & info [ "b" ] ~docv:"PROTO" ~doc:"Second protocol group.")
+  in
+  let n_arg =
+    Arg.(value & opt int 5 & info [ "n" ] ~doc:"Flows per group.")
+  in
+  let bw_arg =
+    Arg.(value & opt float 15e6 & info [ "bandwidth" ] ~doc:"Bottleneck bits/s.")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float 4.
+      & info [ "period" ] ~doc:"CBR square-wave period in seconds.")
+  in
+  let run verbose a b n bandwidth period =
+    setup_logs verbose;
+    let r =
+      Slowcc.Scenarios.square_wave
+        ~flows:[ (a, n); (b, n) ]
+        ~bandwidth ~cbr_fraction:(2. /. 3.) ~period ()
+    in
+    Format.printf "%-14s normalized throughput %.3f@." (Slowcc.Protocol.name a)
+      (r.Slowcc.Scenarios.group_mean (Slowcc.Protocol.name a));
+    Format.printf "%-14s normalized throughput %.3f@." (Slowcc.Protocol.name b)
+      (r.Slowcc.Scenarios.group_mean (Slowcc.Protocol.name b));
+    Format.printf "link utilization %.3f, drop rate %.2f%%@."
+      r.Slowcc.Scenarios.utilization
+      (100. *. r.Slowcc.Scenarios.drop_rate);
+    0
+  in
+  Cmd.v
+    (Cmd.info "compete"
+       ~doc:"Run two protocol groups against a square-wave CBR and compare")
+    Term.(
+      const run $ verbose_arg $ proto_a $ proto_b $ n_arg $ bw_arg
+      $ period_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "slowcc_run" ~version:"1.0.0"
+       ~doc:
+         "Reproduction driver for 'Dynamic Behavior of Slowly-Responsive \
+          Congestion Control Algorithms' (SIGCOMM 2001)")
+    [ list_cmd; run_cmd; all_cmd; compete_cmd ]
+
+let () = exit (Cmd.eval' main)

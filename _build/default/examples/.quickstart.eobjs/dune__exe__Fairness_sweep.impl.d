@@ -1,0 +1,1 @@
+examples/fairness_sweep.ml: Float List Printf Slowcc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cc Engine Netsim Printf Slowcc

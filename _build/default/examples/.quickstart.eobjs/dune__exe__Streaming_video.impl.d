@@ -1,0 +1,1 @@
+examples/streaming_video.ml: Engine List Printf Slowcc

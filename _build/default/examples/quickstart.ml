@@ -1,0 +1,36 @@
+(* Quickstart: a TCP flow and a TFRC flow sharing a 10 Mbps RED dumbbell.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   Demonstrates the three steps of the public API: build an environment,
+   spawn protocol flows, run the clock and read the counters. *)
+
+let () =
+  (* 1. A 10 Mbps RED dumbbell with the paper's 50 ms RTT dimensioning. *)
+  let env = Slowcc.Scenarios.make_env ~seed:42 ~bandwidth:10e6 () in
+
+  (* 2. One standard TCP and one TFRC(6) flow, left to right. *)
+  let tcp = Slowcc.Protocol.spawn (Slowcc.Protocol.tcp ~gamma:2.) env.Slowcc.Scenarios.db in
+  let tfrc = Slowcc.Protocol.spawn (Slowcc.Protocol.tfrc ~k:6 ()) env.Slowcc.Scenarios.db in
+  tcp.Cc.Flow.start ();
+  tfrc.Cc.Flow.start ();
+
+  (* 3. Sixty simulated seconds, then read the counters. *)
+  let horizon = 60. in
+  Engine.Sim.run ~until:horizon env.Slowcc.Scenarios.sim;
+
+  let mbps (flow : Cc.Flow.t) =
+    flow.Cc.Flow.bytes_delivered () *. 8. /. horizon /. 1e6
+  in
+  Printf.printf "after %.0f simulated seconds on a 10 Mbps bottleneck:\n" horizon;
+  Printf.printf "  %-8s %.2f Mbps (srtt %.0f ms)\n" tcp.Cc.Flow.protocol
+    (mbps tcp) (1000. *. tcp.Cc.Flow.srtt ());
+  Printf.printf "  %-8s %.2f Mbps (srtt %.0f ms)\n" tfrc.Cc.Flow.protocol
+    (mbps tfrc) (1000. *. tfrc.Cc.Flow.srtt ());
+  let link = Netsim.Dumbbell.bottleneck env.Slowcc.Scenarios.db in
+  Printf.printf "  bottleneck: %d arrivals, %d drops (%.2f%%)\n"
+    (Netsim.Link.arrivals link) (Netsim.Link.drops link)
+    (100. *. float_of_int (Netsim.Link.drops link)
+    /. float_of_int (max 1 (Netsim.Link.arrivals link)));
+  Printf.printf
+    "the two TCP-compatible flows share the link roughly equally.\n"

@@ -1,0 +1,1 @@
+lib/analysis/aimd_convergence.mli:

@@ -1,0 +1,1 @@
+lib/analysis/fk_model.mli:

@@ -1,0 +1,1 @@
+lib/analysis/response_function.mli:

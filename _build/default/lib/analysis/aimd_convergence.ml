@@ -1,0 +1,24 @@
+let acks_to_fairness ~b ~p ~delta =
+  if b <= 0. || b >= 1. then invalid_arg "acks_to_fairness: b in (0,1)";
+  if p <= 0. || p >= 1. then invalid_arg "acks_to_fairness: p in (0,1)";
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "acks_to_fairness: delta in (0,1)";
+  log delta /. log (1. -. (b *. p))
+
+let simulate_recurrence ~a ~b ~p ~delta ~x1 ~x2 ~max_acks =
+  if x1 <= 0. || x2 <= 0. then invalid_arg "simulate_recurrence: windows";
+  let x1 = ref x1 and x2 = ref x2 in
+  let rec go i =
+    if Float.abs (!x1 -. !x2) /. (!x1 +. !x2) <= delta then Some i
+    else if i >= max_acks then None
+    else begin
+      let total = !x1 +. !x2 in
+      let step x = (a *. (1. -. p) /. x) -. (b *. p *. x) in
+      let d1 = !x1 /. total *. step !x1 in
+      let d2 = !x2 /. total *. step !x2 in
+      x1 := Float.max 1e-9 (!x1 +. d1);
+      x2 := Float.max 1e-9 (!x2 +. d2);
+      go (i + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,25 @@
+(** Analytical model of transient fairness for two AIMD(a, b) flows
+    (Section 4.2.2, Figure 11).
+
+    With a steady-state mark probability [p], the expected window gap of
+    two flows sharing an ack stream contracts by a factor [(1 - bp)] per
+    ack, so reaching a delta-fair allocation from a fully skewed start
+    takes about [log delta / log (1 - bp)] acks. *)
+
+(** Expected number of acks for the window difference to fall to a
+    fraction [delta] of its initial value. *)
+val acks_to_fairness : b:float -> p:float -> delta:float -> float
+
+(** Simulate the expected-value recurrence of Section 4.2.2 directly:
+    windows [(x1, x2)] evolve per ack by the AIMD expectations.  Returns
+    the number of acks until [|x1 - x2| / (x1 + x2) <= delta], capped at
+    [max_acks]. *)
+val simulate_recurrence :
+  a:float ->
+  b:float ->
+  p:float ->
+  delta:float ->
+  x1:float ->
+  x2:float ->
+  max_acks:int ->
+  int option

@@ -1,0 +1,55 @@
+let tcp_average_window p = sqrt (1.5 /. p)
+
+let average_window ~k ~l ~a ~b ~p =
+  if p <= 0. || p >= 1. then invalid_arg "average_window: p in (0,1)";
+  if a <= 0. || b <= 0. then invalid_arg "average_window: a, b positive";
+  let pkts_per_cycle = 1. /. p in
+  (* Iterate drop cycles until the peak window converges; each cycle grows
+     the window by a/w^k per RTT until 1/p packets have been sent, then
+     applies one decrease. *)
+  let w = ref (tcp_average_window p) in
+  let total_pkts = ref 0. and total_rtts = ref 0. in
+  let cycles = 60 and warmup = 20 in
+  for cycle = 1 to cycles do
+    let sent = ref 0. and rtts = ref 0. in
+    while !sent < pkts_per_cycle do
+      sent := !sent +. !w;
+      rtts := !rtts +. 1.;
+      w := !w +. (a /. (!w ** k))
+    done;
+    w := Float.max 1. (!w -. (b *. (!w ** l)));
+    if cycle > warmup then begin
+      total_pkts := !total_pkts +. !sent;
+      total_rtts := !total_rtts +. !rtts
+    end
+  done;
+  !total_pkts /. !total_rtts
+
+let calibrate_a ?(p_ref = 0.01) ~k ~l ~b () =
+  let target = tcp_average_window p_ref in
+  let avg a = average_window ~k ~l ~a ~b ~p:p_ref in
+  (* average_window is increasing in a; bisection on a generous bracket. *)
+  let lo = ref 1e-6 and hi = ref 1e4 in
+  for _ = 1 to 80 do
+    let mid = sqrt (!lo *. !hi) in
+    if avg mid < target then lo := mid else hi := mid
+  done;
+  sqrt (!lo *. !hi)
+
+(* Decrease constant giving a relative reduction of 1/gamma at the
+   reference operating window W_ref: b W^l = W/gamma. *)
+let decrease_constant ~l ~gamma ~p_ref =
+  let w_ref = tcp_average_window p_ref in
+  (w_ref ** (1. -. l)) /. gamma
+
+let sqrt_params ?(p_ref = 0.01) ~gamma () =
+  if gamma < 1. then invalid_arg "sqrt_params: gamma >= 1";
+  let k = 0.5 and l = 0.5 in
+  let b = decrease_constant ~l ~gamma ~p_ref in
+  (calibrate_a ~p_ref ~k ~l ~b (), b)
+
+let iiad_params ?(p_ref = 0.01) ~gamma () =
+  if gamma < 1. then invalid_arg "iiad_params: gamma >= 1";
+  let k = 1.0 and l = 0.0 in
+  let b = decrease_constant ~l ~gamma ~p_ref in
+  (calibrate_a ~p_ref ~k ~l ~b (), b)

@@ -1,0 +1,25 @@
+(** Numeric TCP-compatibility calibration for binomial algorithms.
+
+    The paper defines SQRT(1/gamma) and IIAD as "the TCP-compatible
+    instances" of the binomial family but gives no constants.  We pick the
+    decrease constant [b] so that the window reduction at the reference
+    operating point equals a [1/gamma] fraction of the window, then
+    calibrate the increase constant [a] so that the deterministic
+    steady-state sawtooth matches TCP's [sqrt(1.5/p)] average window at a
+    reference loss rate (default [p_ref = 0.01]). *)
+
+(** Average window (packets/RTT) of the deterministic sawtooth of
+    binomial(k, l, a, b) when one packet in [1/p] is dropped. *)
+val average_window :
+  k:float -> l:float -> a:float -> b:float -> p:float -> float
+
+(** The increase constant [a] making binomial(k, l, _, b) match TCP's
+    average window at [p_ref]. *)
+val calibrate_a : ?p_ref:float -> k:float -> l:float -> b:float -> unit -> float
+
+(** [(a, b)] for SQRT(1/gamma): k = l = 1/2. *)
+val sqrt_params : ?p_ref:float -> gamma:float -> unit -> float * float
+
+(** [(a, b)] for IIAD with relative decrease [1/gamma] at the reference
+    window: k = 1, l = 0. *)
+val iiad_params : ?p_ref:float -> gamma:float -> unit -> float * float

@@ -1,0 +1,13 @@
+let f_k ~a ~k ~rtt ~lambda =
+  if k <= 0 then invalid_arg "Fk_model.f_k: k must be positive";
+  if rtt <= 0. || lambda <= 0. then invalid_arg "Fk_model.f_k";
+  (* The ramp a/R per RTT fills the freed half in k* = 2 R lambda / a RTTs;
+     beyond that the extra capacity is fully used. *)
+  let k = float_of_int k in
+  let k_star = 2. *. rtt *. lambda /. a in
+  if k <= k_star then 0.5 +. (k *. a /. (4. *. rtt *. lambda))
+  else begin
+    (* Average of the ramp phase and the saturated phase. *)
+    let ramp_avg = 0.5 +. (k_star *. a /. (4. *. rtt *. lambda)) in
+    ((ramp_avg *. k_star) +. (k -. k_star)) /. k
+  end

@@ -1,0 +1,14 @@
+(** Analytical approximation of the f(k) link-utilization metric
+    (Section 4.2.3).
+
+    After the available bandwidth doubles from [lambda] to [2 lambda]
+    packets/s, an AIMD(a, b) flow raises its rate by [a/R] packets/s per
+    RTT, so the utilization of the first [k] RTTs is approximately
+    [1/2 + k a / (4 R lambda)], capped at 1. *)
+
+val f_k :
+  a:float ->
+  k:int ->
+  rtt:float ->
+  lambda:float (** pre-doubling rate, packets/s *) ->
+  float

@@ -1,0 +1,30 @@
+let reno_padhye ?(t_rto_rtts = 4.) ~p () =
+  if p <= 0. then infinity
+  else if p >= 1. then 0.
+  else begin
+    let term_fast = sqrt (2. *. p /. 3.) in
+    let term_timeout =
+      t_rto_rtts
+      *. Float.min 1. (3. *. sqrt (3. *. p /. 8.))
+      *. p
+      *. (1. +. (32. *. p *. p))
+    in
+    1. /. (term_fast +. term_timeout)
+  end
+
+let pure_aimd ?(a = 1.) ?(b = 0.5) ~p () =
+  if p <= 0. then infinity
+  else if p >= 1. then 0.
+  else
+    (* Deterministic sawtooth: W_max = sqrt(2a / (b(2-b)p)); the average
+       window is W_max (2-b)/2, giving sqrt(a(2-b)/(2b)) / sqrt(p). *)
+    sqrt (a *. (2. -. b) /. (2. *. b)) /. sqrt p
+
+let aimd_with_timeouts ~p =
+  if p <= 0. || p >= 1. then invalid_arg "aimd_with_timeouts: p in (0,1)";
+  let n1 = 1. /. (1. -. p) in
+  n1 /. ((2. ** n1) -. 1.)
+
+let compatible_a_of_b b =
+  if b <= 0. || b >= 1. then invalid_arg "compatible_a_of_b: b in (0,1)";
+  4. *. ((2. *. b) -. (b *. b)) /. 3.

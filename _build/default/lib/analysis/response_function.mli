@@ -1,0 +1,27 @@
+(** TCP response functions: sending rate (packets per RTT) as a function of
+    the packet drop rate [p].  These generate Figure 20 and Appendix A.
+
+    - {!reno_padhye}: the full Padhye et al. formula including retransmit
+      timeouts (Reno without delayed acks), a lower bound on TCP behavior;
+    - {!pure_aimd}: the deterministic AIMD model [sqrt(1.5/p)], valid up to
+      p of about 1/3, no timeouts;
+    - {!aimd_with_timeouts}: Appendix A's extension of AIMD below one
+      packet per RTT, where halving the rate equals exponential backoff of
+      the retransmit timer — an upper bound for p >= 0.5. *)
+
+(** Packets per RTT under the full Padhye model; [t_rto_rtts] is the
+    retransmit timeout in units of RTT (default 4). *)
+val reno_padhye : ?t_rto_rtts:float -> p:float -> unit -> float
+
+(** Deterministic pure-AIMD rate [sqrt(3/(2p))] packets/RTT for the general
+    AIMD(a, b); TCP's constants by default. *)
+val pure_aimd : ?a:float -> ?b:float -> p:float -> unit -> float
+
+(** Appendix A model: with [p = n/(n+1)], the sender delivers [n + 1]
+    packets per [2^(n+1) - 1] RTTs.  Defined for [p >= 0.5]; this
+    implementation evaluates the closed form
+    [(1/(1-p)) / (2^(1/(1-p)) - 1)] for any [0 < p < 1]. *)
+val aimd_with_timeouts : p:float -> float
+
+(** The paper's TCP-compatible AIMD increase rule: a = 4(2b - b^2)/3. *)
+val compatible_a_of_b : float -> float

@@ -1,0 +1,1 @@
+lib/cc/cbr.ml: Engine Flow Netsim

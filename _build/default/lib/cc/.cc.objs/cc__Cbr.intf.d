@@ -1,0 +1,1 @@
+lib/cc/cbr.mli: Engine Flow Netsim

@@ -1,0 +1,1 @@
+lib/cc/flash_crowd.ml: Array Engine Flow Hashtbl Netsim Window_cc

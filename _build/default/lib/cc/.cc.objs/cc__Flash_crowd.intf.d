@@ -1,0 +1,1 @@
+lib/cc/flash_crowd.mli: Engine Netsim

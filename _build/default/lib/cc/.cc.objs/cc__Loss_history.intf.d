@@ -1,0 +1,1 @@
+lib/cc/loss_history.mli:

@@ -1,0 +1,1 @@
+lib/cc/rap.ml: Engine Float Flow Hashtbl Logs Netsim Printf

@@ -1,0 +1,1 @@
+lib/cc/rap.mli: Engine Flow Netsim

@@ -1,0 +1,1 @@
+lib/cc/sink.ml: Engine Int List Netsim Set

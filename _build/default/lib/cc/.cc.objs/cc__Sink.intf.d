@@ -1,0 +1,1 @@
+lib/cc/sink.mli: Engine Netsim

@@ -1,0 +1,1 @@
+lib/cc/tear.ml: Engine Float Flow List Netsim Printf

@@ -1,0 +1,1 @@
+lib/cc/tear.mli: Engine Flow Netsim

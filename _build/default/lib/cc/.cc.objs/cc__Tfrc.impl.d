@@ -1,0 +1,1 @@
+lib/cc/tfrc.ml: Engine Float Flow List Logs Loss_history Netsim Printf Queue Tfrc_eq

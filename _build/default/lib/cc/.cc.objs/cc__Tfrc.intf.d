@@ -1,0 +1,1 @@
+lib/cc/tfrc.mli: Engine Flow Netsim

@@ -1,0 +1,1 @@
+lib/cc/tfrc_eq.ml: Float

@@ -1,0 +1,1 @@
+lib/cc/window_cc.ml: Engine Float Flow Int List Logs Netsim Printf Set Sink

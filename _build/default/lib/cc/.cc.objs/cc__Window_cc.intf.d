@@ -1,0 +1,1 @@
+lib/cc/window_cc.mli: Engine Flow Netsim

@@ -1,0 +1,104 @@
+type config = {
+  arrival_rate : float;
+  duration : float;
+  transfer_pkts : int;
+  pkt_size : int;
+  pool_size : int;
+}
+
+let default_config =
+  {
+    arrival_rate = 200.;
+    duration = 5.;
+    transfer_pkts = 10;
+    pkt_size = 1000;
+    pool_size = 20;
+  }
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  dumbbell : Netsim.Dumbbell.t;
+  cfg : config;
+  pool : (Netsim.Node.t * Netsim.Node.t) array;
+  mutable next_pair : int;
+  mutable started : int;
+  mutable completed : int;
+  mutable bytes : float;
+  completion_times : Engine.Stats.t;
+  senders : (int, Window_cc.t * float) Hashtbl.t;  (* flow -> sender, t0 *)
+}
+
+let launch_flow t =
+  let src, dst = t.pool.(t.next_pair) in
+  t.next_pair <- (t.next_pair + 1) mod Array.length t.pool;
+  let flow_id = Netsim.Dumbbell.fresh_flow t.dumbbell in
+  let t0 = Engine.Sim.now t.sim in
+  let cfg =
+    {
+      (Window_cc.default_config (Window_cc.tcp_compatible_aimd ~b:0.5)) with
+      Window_cc.pkt_size = t.cfg.pkt_size;
+      total_pkts = Some t.cfg.transfer_pkts;
+      on_complete =
+        Some
+          (fun () ->
+            t.completed <- t.completed + 1;
+            Engine.Stats.add t.completion_times (Engine.Sim.now t.sim -. t0);
+            match Hashtbl.find_opt t.senders flow_id with
+            | Some (sender, _) ->
+              t.bytes <- t.bytes +. (Window_cc.flow sender).Flow.bytes_delivered ();
+              Hashtbl.remove t.senders flow_id;
+              Netsim.Node.detach src ~flow:flow_id;
+              Netsim.Node.detach dst ~flow:flow_id
+            | None -> ());
+    }
+  in
+  let sender = Window_cc.create ~sim:t.sim ~src ~dst ~flow:flow_id cfg in
+  Hashtbl.replace t.senders flow_id (sender, t0);
+  t.started <- t.started + 1;
+  (Window_cc.flow sender).Flow.start ()
+
+let rec schedule_arrival t ~deadline =
+  let gap = Engine.Rng.exponential t.rng ~mean:(1. /. t.cfg.arrival_rate) in
+  let when_ = Engine.Sim.now t.sim +. gap in
+  if when_ < deadline then
+    Engine.Sim.at t.sim when_ (fun () ->
+        launch_flow t;
+        schedule_arrival t ~deadline)
+
+let create ~sim ~rng ~dumbbell ~start cfg =
+  if cfg.arrival_rate <= 0. || cfg.duration <= 0. then
+    invalid_arg "Flash_crowd.create";
+  let pool =
+    Array.init cfg.pool_size (fun _ -> Netsim.Dumbbell.add_host_pair dumbbell)
+  in
+  let t =
+    {
+      sim;
+      rng;
+      dumbbell;
+      cfg;
+      pool;
+      next_pair = 0;
+      started = 0;
+      completed = 0;
+      bytes = 0.;
+      completion_times = Engine.Stats.create ();
+      senders = Hashtbl.create 256;
+    }
+  in
+  Engine.Sim.at sim start (fun () ->
+      schedule_arrival t ~deadline:(start +. cfg.duration));
+  t
+
+let flows_started t = t.started
+let flows_completed t = t.completed
+
+let bytes_delivered t =
+  (* Completed flows contributed on completion; add live flows' progress. *)
+  Hashtbl.fold
+    (fun _ (sender, _) acc ->
+      acc +. (Window_cc.flow sender).Flow.bytes_delivered ())
+    t.senders t.bytes
+
+let mean_completion_time t = Engine.Stats.mean t.completion_times

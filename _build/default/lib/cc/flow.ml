@@ -1,0 +1,15 @@
+type t = {
+  id : int;
+  protocol : string;
+  start : unit -> unit;
+  stop : unit -> unit;
+  pkts_sent : unit -> int;
+  bytes_sent : unit -> float;
+  bytes_delivered : unit -> float;
+  current_rate : unit -> float;
+  srtt : unit -> float;
+}
+
+let throughput t ~t0 ~t1 ~snapshot0 =
+  if t1 <= t0 then invalid_arg "Flow.throughput: empty interval";
+  (t.bytes_delivered () -. snapshot0) /. (t1 -. t0)

@@ -1,0 +1,20 @@
+(** Uniform handle over a running transport flow, regardless of protocol.
+
+    Scenario code starts/stops flows and reads counters through this record;
+    each agent module ({!Window_cc}, {!Rap}, {!Tfrc}, {!Cbr}) builds one. *)
+
+type t = {
+  id : int;  (** flow identifier, unique per topology *)
+  protocol : string;  (** human-readable, e.g. "tcp(1/8)" *)
+  start : unit -> unit;
+  stop : unit -> unit;
+  pkts_sent : unit -> int;
+  bytes_sent : unit -> float;
+  bytes_delivered : unit -> float;  (** received at the sink *)
+  current_rate : unit -> float;  (** instantaneous send rate, bytes/s *)
+  srtt : unit -> float;  (** smoothed RTT estimate, seconds *)
+}
+
+(** Mean goodput in bytes/s between two absolute times, from a closure
+    sampling [bytes_delivered] — convenience for scenarios. *)
+val throughput : t -> t0:float -> t1:float -> snapshot0:float -> float

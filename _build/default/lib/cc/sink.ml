@@ -1,0 +1,118 @@
+module IntSet = Set.Make (Int)
+
+type t = {
+  sim : Engine.Sim.t;
+  node : Netsim.Node.t;
+  flow : int;
+  peer : int;
+  ack_size : int;
+  delayed_acks : bool;
+  delack_timeout : float;
+  mutable next_expected : int;
+  mutable out_of_order : IntSet.t;
+  mutable bytes : float;
+  mutable pkts : int;
+  mutable unacked_pkts : int;  (* in-order packets not yet acked (delack) *)
+  mutable delack_timer : Engine.Sim.handle option;
+  mutable last_ecn : bool;
+}
+
+(* Contiguous runs of the out-of-order set as SACK blocks [lo, hi),
+   highest (most useful) first, at most three. *)
+let sack_blocks t =
+  let runs, current =
+    IntSet.fold
+      (fun seq (runs, current) ->
+        match current with
+        | Some (lo, hi) when seq = hi -> (runs, Some (lo, hi + 1))
+        | Some run -> (run :: runs, Some (seq, seq + 1))
+        | None -> (runs, Some (seq, seq + 1)))
+      t.out_of_order ([], None)
+  in
+  let runs = match current with Some run -> run :: runs | None -> runs in
+  List.filteri (fun i _ -> i < 3) runs
+
+let send_ack t =
+  (match t.delack_timer with
+  | Some h ->
+    Engine.Sim.cancel h;
+    t.delack_timer <- None
+  | None -> ());
+  t.unacked_pkts <- 0;
+  let ack =
+    Netsim.Packet.make ~size:t.ack_size ~flow:t.flow
+      ~src:(Netsim.Node.id t.node) ~dst:t.peer
+      ~sent_at:(Engine.Sim.now t.sim)
+      ~payload:
+        (Netsim.Packet.Ack
+           { cum_seq = t.next_expected; sack = sack_blocks t })
+      ()
+  in
+  ack.Netsim.Packet.ecn <- t.last_ecn;
+  t.last_ecn <- false;
+  Netsim.Node.inject t.node ack
+
+let arm_delack t =
+  if t.delack_timer = None then
+    t.delack_timer <-
+      Some
+        (Engine.Sim.after_cancellable t.sim t.delack_timeout (fun () ->
+             t.delack_timer <- None;
+             if t.unacked_pkts > 0 then send_ack t))
+
+let handle t (pkt : Netsim.Packet.t) =
+  match pkt.Netsim.Packet.payload with
+  | Netsim.Packet.Plain | Netsim.Packet.Tfrc_data _ ->
+    t.bytes <- t.bytes +. float_of_int pkt.Netsim.Packet.size;
+    t.pkts <- t.pkts + 1;
+    t.last_ecn <- t.last_ecn || pkt.Netsim.Packet.ecn;
+    let seq = pkt.Netsim.Packet.seq in
+    let in_order = seq = t.next_expected in
+    if in_order then begin
+      t.next_expected <- seq + 1;
+      while IntSet.mem t.next_expected t.out_of_order do
+        t.out_of_order <- IntSet.remove t.next_expected t.out_of_order;
+        t.next_expected <- t.next_expected + 1
+      done
+    end
+    else if seq > t.next_expected then
+      t.out_of_order <- IntSet.add seq t.out_of_order;
+    if t.delayed_acks && in_order && IntSet.is_empty t.out_of_order then begin
+      (* Delay the ack unless this is the second unacked packet. *)
+      t.unacked_pkts <- t.unacked_pkts + 1;
+      if t.unacked_pkts >= 2 then send_ack t else arm_delack t
+    end
+    else
+      (* Immediate ack: no delack, out-of-order data, or a hole just
+         filled — the sender needs prompt feedback. *)
+      send_ack t
+  | Netsim.Packet.Ack _ | Netsim.Packet.Rap_ack _ | Netsim.Packet.Tfrc_fb _
+  | Netsim.Packet.Tear_fb _ ->
+    ()
+
+let attach ?(ack_size = 40) ?(delayed_acks = false) ?(delack_timeout = 0.2)
+    ~sim ~node ~flow ~peer () =
+  let t =
+    {
+      sim;
+      node;
+      flow;
+      peer;
+      ack_size;
+      delayed_acks;
+      delack_timeout;
+      next_expected = 0;
+      out_of_order = IntSet.empty;
+      bytes = 0.;
+      pkts = 0;
+      unacked_pkts = 0;
+      delack_timer = None;
+      last_ecn = false;
+    }
+  in
+  Netsim.Node.attach node ~flow (handle t);
+  t
+
+let bytes_received t = t.bytes
+let pkts_received t = t.pkts
+let cumulative t = t.next_expected

@@ -1,0 +1,37 @@
+(** Data receiver that generates an immediate cumulative ACK per data
+    packet (no delayed acks, matching the paper's TCP model).
+
+    Out-of-order arrivals are buffered logically; the cumulative ack always
+    names the lowest sequence number not yet received, so duplicate acks
+    signal holes to the sender.  ECN marks on data are echoed on acks. *)
+
+type t
+
+(** [attach ~sim ~node ~flow ~peer] registers the sink on [node] for
+    [flow]; acks are addressed to node id [peer].  [ack_size] defaults to
+    40 bytes.
+
+    [delayed_acks] enables RFC-1122-style delayed acks: one ack per two
+    in-order packets, or after [delack_timeout] (default 200 ms), with
+    immediate acks for out-of-order data.  The paper's TCP is modeled
+    *without* delayed acks (its AIMD has a = 1); this option exists to
+    explore the variant. *)
+val attach :
+  ?ack_size:int ->
+  ?delayed_acks:bool ->
+  ?delack_timeout:float ->
+  sim:Engine.Sim.t ->
+  node:Netsim.Node.t ->
+  flow:int ->
+  peer:int ->
+  unit ->
+  t
+
+(** Total data bytes delivered (including duplicates). *)
+val bytes_received : t -> float
+
+(** Distinct in-order data packets delivered so far. *)
+val pkts_received : t -> int
+
+(** Lowest sequence number not yet received. *)
+val cumulative : t -> int

@@ -1,0 +1,47 @@
+(** TCP-Friendly Rate Control (Floyd, Handley, Padhye, Widmer 2000).
+
+    Equation-based, rate-driven congestion control: the receiver measures
+    the loss event rate over the most recent [k] loss intervals (TFRC(k),
+    deployed default about 6) and its receive rate each RTT; the sender
+    sets its transmission rate to the TCP response function of that loss
+    rate, capped at twice the receive rate.
+
+    The [conservative] flag implements the paper's self-clocking extension
+    (Section 4.1.1 pseudo-code): for the RTT after a reported loss the rate
+    is capped at the receive rate itself, and otherwise at C times the
+    receive rate (C = 1.1), restoring the packet-conservation principle. *)
+
+type config = {
+  k : int;  (** number of loss intervals averaged *)
+  pkt_size : int;
+  conservative : bool;  (** the paper's self-clocking option *)
+  conservative_c : float;  (** C in the pseudo-code; paper uses 1.1 *)
+  history_discounting : bool;  (** RFC 3448 s5.5; off in the paper's runs *)
+  initial_rtt : float;
+  initial_rate_pps : float;
+  min_rate_pps : float;  (** one packet per t_mbi = 64 s *)
+}
+
+val default_config : k:int -> config
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  src:Netsim.Node.t ->
+  dst:Netsim.Node.t ->
+  flow:int ->
+  config ->
+  t
+
+val flow : t -> Flow.t
+
+(** Introspection. *)
+val rate_pps : t -> float
+
+val srtt : t -> float
+
+(** Last loss event rate reported by the receiver. *)
+val loss_event_rate : t -> float
+
+val in_slow_start : t -> bool

@@ -1,0 +1,28 @@
+let rate_pps ~p ~rtt =
+  if p <= 0. then infinity
+  else if rtt <= 0. then invalid_arg "Tfrc_eq.rate_pps: rtt must be positive"
+  else begin
+    let p = Float.min p 1. in
+    let term_fast = sqrt (2. *. p /. 3.) in
+    let term_timeout =
+      (* t_RTO = 4 RTT, hence the factor 12 = 4 * 3. *)
+      12. *. sqrt (3. *. p /. 8.) *. p *. (1. +. (32. *. p *. p))
+    in
+    1. /. (rtt *. (term_fast +. term_timeout))
+  end
+
+let invert ~rate_pps:target ~rtt =
+  if target <= 0. then 1.
+  else begin
+    let lo = ref 1e-8 and hi = ref 1. in
+    (* rate_pps is decreasing in p; find p with rate_pps p = target. *)
+    if rate_pps ~p:!hi ~rtt >= target then 1.
+    else if rate_pps ~p:!lo ~rtt <= target then 1e-8
+    else begin
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!lo +. !hi) in
+        if rate_pps ~p:mid ~rtt > target then lo := mid else hi := mid
+      done;
+      0.5 *. (!lo +. !hi)
+    end
+  end

@@ -1,0 +1,15 @@
+(** The TCP response function of Padhye et al. used by TFRC.
+
+    [rate_pps ~p ~rtt] is the TCP-friendly sending rate in packets/s for
+    loss event rate [p] and round-trip time [rtt], with the retransmit
+    timeout approximated as t_RTO = 4 RTT:
+
+    X = 1 / (R (sqrt(2p/3) + 12 sqrt(3p/8) p (1 + 32 p^2))) *)
+
+val rate_pps : p:float -> rtt:float -> float
+
+(** Inverse of {!rate_pps} in [p] (bisection): the loss event rate at which
+    the equation yields [rate_pps].  Used to seed TFRC's first loss
+    interval from the observed receive rate.  Result clamped to
+    [\[1e-8, 1\]]. *)
+val invert : rate_pps:float -> rtt:float -> float

@@ -1,0 +1,467 @@
+let log_src =
+  Logs.Src.create "slowcc.window_cc" ~doc:"Windowed congestion control events"
+
+module Log = (val Logs.src_log log_src)
+
+type rule = {
+  name : string;
+  increase : float -> float;
+  decrease : float -> float;
+}
+
+let aimd ~a ~b =
+  if a <= 0. || b <= 0. || b >= 1. then invalid_arg "Window_cc.aimd";
+  {
+    name = Printf.sprintf "aimd(a=%g,b=%g)" a b;
+    increase = (fun _ -> a);
+    decrease = (fun w -> (1. -. b) *. w);
+  }
+
+let tcp_compatible_aimd ~b =
+  let a = 4. *. ((2. *. b) -. (b *. b)) /. 3. in
+  { (aimd ~a ~b) with name = Printf.sprintf "tcp(%g)" b }
+
+let binomial ~k ~l ~a ~b =
+  if a <= 0. || b <= 0. then invalid_arg "Window_cc.binomial";
+  {
+    name = Printf.sprintf "binomial(k=%g,l=%g,a=%g,b=%g)" k l a b;
+    increase = (fun w -> a /. (w ** k));
+    decrease = (fun w -> w -. (b *. (w ** l)));
+  }
+
+type variant = Reno | Tahoe
+
+module IntSet = Set.Make (Int)
+
+type config = {
+  rule : rule;
+  variant : variant;
+  sack : bool;
+  pkt_size : int;
+  initial_window : float;
+  initial_ssthresh : float option;
+  max_window : float;
+  min_rto : float;
+  max_rto : float;
+  total_pkts : int option;
+  react_to_ecn : bool;
+  delayed_acks : bool;
+  on_complete : (unit -> unit) option;
+}
+
+let default_config rule =
+  {
+    rule;
+    variant = Reno;
+    sack = false;
+    pkt_size = 1000;
+    initial_window = 2.;
+    initial_ssthresh = None;
+    max_window = 10000.;
+    min_rto = 0.2;
+    max_rto = 64.;
+    total_pkts = None;
+    react_to_ecn = true;
+    delayed_acks = false;
+    on_complete = None;
+  }
+
+type t = {
+  sim : Engine.Sim.t;
+  cfg : config;
+  src : Netsim.Node.t;
+  dst : Netsim.Node.t;
+  flow_id : int;
+  sink : Sink.t;
+  (* --- sender state --- *)
+  mutable running : bool;
+  mutable finished : bool;
+  mutable snd_una : int;  (* lowest unacked sequence number *)
+  mutable snd_nxt : int;  (* next new sequence number to send *)
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable high_water : int;  (* highest sequence ever transmitted + 1 *)
+  mutable dupacks : int;
+  mutable in_recovery : bool;
+  mutable recover : int;  (* fast-recovery exit point *)
+  mutable first_partial_done : bool;  (* NewReno "Impatient" timer rule *)
+  mutable no_fastrtx_until : float;  (* quiet period after a timeout *)
+  mutable ecn_guard : int;  (* no new ECN reduction until acked past this *)
+  (* --- SACK scoreboard (cfg.sack only) --- *)
+  mutable sacked : IntSet.t;  (* selectively acked seqs above snd_una *)
+  mutable hole_rtx : IntSet.t;  (* holes retransmitted this recovery *)
+  (* --- RTT estimation --- *)
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable rtt_valid : bool;
+  mutable backoff : float;
+  mutable rto_timer : Engine.Sim.handle option;
+  (* BSD-style RTT timing: one probe segment at a time, invalidated by any
+     retransmission episode (Karn's algorithm).  Timing via cumulative
+     acks of arbitrary segments would charge hole-recovery time to the
+     path and blow up the estimate under heavy loss. *)
+  mutable rtt_probe : (int * float) option;  (* seq, send time *)
+  (* --- counters --- *)
+  mutable pkts_sent : int;
+  mutable bytes_sent : float;
+  mutable n_timeouts : int;
+  mutable n_fast_rtx : int;
+  mutable n_rtx_pkts : int;
+}
+
+(* Reno-style inflation: each dupack during fast recovery signals a packet
+   that left the network, allowing one transmission.  Outside recovery
+   dupacks never widen the window (duplicate data after a go-back-N
+   retransmission would otherwise snowball). *)
+let effective_window t =
+  if t.in_recovery && not t.cfg.sack then t.cwnd +. float_of_int t.dupacks
+  else t.cwnd
+let inflight t = t.snd_nxt - t.snd_una
+
+(* RFC 3517-style pipe estimate: selectively acked segments are no longer
+   in the network. *)
+let pipe t =
+  if t.cfg.sack then inflight t - IntSet.cardinal t.sacked else inflight t
+
+let current_rto t =
+  let base =
+    if t.rtt_valid then t.srtt +. (4. *. t.rttvar) else 1.0
+  in
+  Float.min t.cfg.max_rto (Float.max t.cfg.min_rto base *. t.backoff)
+
+let transmit t ~seq =
+  let pkt =
+    Netsim.Packet.make ~size:t.cfg.pkt_size ~seq ~flow:t.flow_id
+      ~src:(Netsim.Node.id t.src) ~dst:(Netsim.Node.id t.dst)
+      ~sent_at:(Engine.Sim.now t.sim) ()
+  in
+  t.pkts_sent <- t.pkts_sent + 1;
+  t.bytes_sent <- t.bytes_sent +. float_of_int t.cfg.pkt_size;
+  if seq < t.high_water then begin
+    (* Retransmission: never time it, and invalidate any probe it could
+       overlap (Karn). *)
+    t.n_rtx_pkts <- t.n_rtx_pkts + 1;
+    (match t.rtt_probe with
+    | Some (probe_seq, _) when probe_seq >= seq -> t.rtt_probe <- None
+    | Some _ | None -> ())
+  end
+  else begin
+    if t.rtt_probe = None then
+      t.rtt_probe <- Some (seq, Engine.Sim.now t.sim);
+    t.high_water <- seq + 1
+  end;
+  Netsim.Node.inject t.src pkt
+
+(* Merge the ack's SACK blocks into the scoreboard, pruning below the
+   cumulative point. *)
+let merge_sack t blocks =
+  List.iter
+    (fun (lo, hi) ->
+      for seq = lo to hi - 1 do
+        if seq >= t.snd_una && seq < t.snd_nxt then
+          t.sacked <- IntSet.add seq t.sacked
+      done)
+    blocks;
+  t.sacked <- IntSet.filter (fun seq -> seq >= t.snd_una) t.sacked
+
+(* A hole is deemed lost when at least three selectively acked segments
+   lie above it (the SACK analogue of three dupacks). *)
+let next_lost_hole t =
+  if IntSet.is_empty t.sacked then None
+  else begin
+    let above seq =
+      IntSet.cardinal (IntSet.filter (fun x -> x > seq) t.sacked)
+    in
+    let rec scan seq =
+      if seq >= t.snd_nxt then None
+      else if IntSet.mem seq t.sacked then scan (seq + 1)
+      else if IntSet.mem seq t.hole_rtx then scan (seq + 1)
+      else if above seq >= 3 then Some seq
+      else None
+    in
+    scan t.snd_una
+  end
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some h ->
+    Engine.Sim.cancel h;
+    t.rto_timer <- None
+  | None -> ()
+
+let rec restart_rto t =
+  cancel_rto t;
+  if t.running && t.snd_una < t.snd_nxt then
+    t.rto_timer <-
+      Some (Engine.Sim.after_cancellable t.sim (current_rto t) (fun () -> on_rto t))
+
+and on_rto t =
+  t.rto_timer <- None;
+  if t.running && t.snd_una < t.snd_nxt then begin
+    t.n_timeouts <- t.n_timeouts + 1;
+    Log.debug (fun m ->
+        m "t=%.3f flow=%d rto: cwnd=%.1f backoff=%.0fx snd_una=%d"
+          (Engine.Sim.now t.sim) t.flow_id t.cwnd t.backoff t.snd_una);
+    t.ssthresh <- Float.max 2. (t.cfg.rule.decrease t.cwnd);
+    t.cwnd <- 1.;
+    t.backoff <- Float.min 64. (t.backoff *. 2.);
+    t.in_recovery <- false;
+    t.dupacks <- 0;
+    (* Go-back-N: resume from the first hole; everything in flight is
+       presumed lost (how ns-2's one-bit-ack TCPs behave on timeout). *)
+    t.snd_nxt <- t.snd_una;
+    (* Dupacks caused by pre-timeout duplicates must not trigger fast
+       retransmit until the whole old window is acked (RFC 6582 s4). *)
+    t.recover <- t.high_water;
+    t.sacked <- IntSet.empty;
+    t.hole_rtx <- IntSet.empty;
+    t.no_fastrtx_until <-
+      Engine.Sim.now t.sim +. (if t.rtt_valid then t.srtt else t.cfg.min_rto);
+    transmit t ~seq:t.snd_nxt;
+    t.snd_nxt <- t.snd_nxt + 1;
+    restart_rto t
+  end
+
+let total_limit t =
+  match t.cfg.total_pkts with Some n -> n | None -> max_int
+
+let try_send t =
+  if t.running then begin
+    let limit = total_limit t in
+    if t.cfg.sack then begin
+      (* Fill the pipe: retransmit deemed-lost holes first, then new data. *)
+      let progress = ref true in
+      while !progress && float_of_int (pipe t) < Float.floor (effective_window t)
+      do
+        match next_lost_hole t with
+        | Some hole ->
+          transmit t ~seq:hole;
+          t.hole_rtx <- IntSet.add hole t.hole_rtx
+        | None ->
+          if t.snd_nxt < limit then begin
+            transmit t ~seq:t.snd_nxt;
+            t.snd_nxt <- t.snd_nxt + 1
+          end
+          else progress := false
+      done
+    end
+    else
+      while
+        t.snd_nxt < limit
+        && float_of_int (inflight t) < Float.floor (effective_window t)
+      do
+        transmit t ~seq:t.snd_nxt;
+        t.snd_nxt <- t.snd_nxt + 1
+      done;
+    if t.rto_timer = None then restart_rto t
+  end
+
+let sample_rtt t ~acked_up_to =
+  match t.rtt_probe with
+  | Some (seq, sent_at) when acked_up_to > seq ->
+    t.rtt_probe <- None;
+    let sample = Engine.Sim.now t.sim -. sent_at in
+    if t.rtt_valid then begin
+      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. sample));
+      t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
+    end
+    else begin
+      t.srtt <- sample;
+      t.rttvar <- sample /. 2.;
+      t.rtt_valid <- true
+    end
+  | Some _ | None -> ()
+
+let grow_window t ~acked_pkts =
+  for _ = 1 to acked_pkts do
+    if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
+    else t.cwnd <- t.cwnd +. (t.cfg.rule.increase t.cwnd /. t.cwnd)
+  done;
+  t.cwnd <- Float.min t.cwnd t.cfg.max_window
+
+let congestion_decrease t =
+  t.ssthresh <- Float.max 2. (t.cfg.rule.decrease t.cwnd);
+  t.cwnd <- t.ssthresh
+
+let complete t =
+  if not t.finished then begin
+    t.finished <- true;
+    t.running <- false;
+    cancel_rto t;
+    match t.cfg.on_complete with Some f -> f () | None -> ()
+  end
+
+let enter_fast_recovery t =
+  t.n_fast_rtx <- t.n_fast_rtx + 1;
+  Log.debug (fun m ->
+      m "t=%.3f flow=%d fast retransmit: cwnd=%.1f snd_una=%d"
+        (Engine.Sim.now t.sim) t.flow_id t.cwnd t.snd_una);
+  (match t.cfg.variant with
+  | Reno ->
+    t.in_recovery <- true;
+    t.recover <- t.snd_nxt;
+    t.first_partial_done <- false;
+    t.hole_rtx <- IntSet.empty;
+    congestion_decrease t
+  | Tahoe ->
+    (* Tahoe: retransmit, then slow-start from scratch. *)
+    t.ssthresh <- Float.max 2. (t.cfg.rule.decrease t.cwnd);
+    t.cwnd <- 1.;
+    t.recover <- t.high_water;
+    t.snd_nxt <- t.snd_una;
+    t.dupacks <- 0);
+  transmit t ~seq:t.snd_una;
+  (match t.cfg.variant with Tahoe -> t.snd_nxt <- t.snd_una + 1 | Reno -> ());
+  restart_rto t
+
+let on_new_ack t cum =
+  let acked = cum - t.snd_una in
+  sample_rtt t ~acked_up_to:cum;
+  t.snd_una <- cum;
+  t.backoff <- 1.;
+  if t.cfg.sack then begin
+    t.sacked <- IntSet.filter (fun seq -> seq >= cum) t.sacked;
+    t.hole_rtx <- IntSet.filter (fun seq -> seq >= cum) t.hole_rtx
+  end;
+  if t.in_recovery then begin
+    if cum > t.recover then begin
+      (* Full ack: recovery over; window already set by the decrease. *)
+      t.in_recovery <- false;
+      t.dupacks <- 0;
+      t.hole_rtx <- IntSet.empty;
+      restart_rto t
+    end
+    else begin
+      (* Partial ack: the next hole is lost too.  With SACK the scoreboard
+         drives retransmissions from try_send; without it, retransmit the
+         hole directly (NewReno).  Per NewReno's "Impatient" variant only
+         the first partial ack restarts the retransmit timer, so recovery
+         from a large loss burst ends in a timeout instead of dragging on
+         for one hole per RTT. *)
+      if not t.cfg.sack then transmit t ~seq:t.snd_una;
+      t.dupacks <- max 0 (t.dupacks - acked);
+      if not t.first_partial_done then begin
+        t.first_partial_done <- true;
+        restart_rto t
+      end
+    end
+  end
+  else begin
+    t.dupacks <- 0;
+    grow_window t ~acked_pkts:acked;
+    restart_rto t
+  end;
+  if t.snd_una >= total_limit t then complete t else try_send t
+
+let on_dup_ack t =
+  if not t.finished then begin
+    t.dupacks <- t.dupacks + 1;
+    if
+      (not t.in_recovery)
+      && t.dupacks = 3
+      && t.snd_una > t.recover
+      && Engine.Sim.now t.sim >= t.no_fastrtx_until
+    then enter_fast_recovery t
+    else try_send t
+  end
+
+let on_ecn t =
+  if t.cfg.react_to_ecn && t.snd_una > t.ecn_guard then begin
+    congestion_decrease t;
+    t.ecn_guard <- t.snd_nxt
+  end
+
+let handle_ack t (pkt : Netsim.Packet.t) =
+  if t.running then
+    match pkt.Netsim.Packet.payload with
+    | Netsim.Packet.Ack { cum_seq; sack } ->
+      if t.cfg.sack then merge_sack t sack;
+      if pkt.Netsim.Packet.ecn then on_ecn t;
+      if cum_seq > t.snd_una then on_new_ack t cum_seq
+      else if t.snd_una < t.snd_nxt then on_dup_ack t
+    | Netsim.Packet.Plain | Netsim.Packet.Rap_ack _ | Netsim.Packet.Tfrc_data _
+    | Netsim.Packet.Tfrc_fb _ | Netsim.Packet.Tear_fb _ ->
+      ()
+
+let create ~sim ~src ~dst ~flow cfg =
+  if cfg.initial_window < 1. then invalid_arg "Window_cc: initial_window";
+  let sink =
+    Sink.attach ~delayed_acks:cfg.delayed_acks ~sim ~node:dst ~flow
+      ~peer:(Netsim.Node.id src) ()
+  in
+  let t =
+    {
+      sim;
+      cfg;
+      src;
+      dst;
+      flow_id = flow;
+      sink;
+      running = false;
+      finished = false;
+      snd_una = 0;
+      snd_nxt = 0;
+      high_water = 0;
+      cwnd = cfg.initial_window;
+      ssthresh =
+        (match cfg.initial_ssthresh with
+        | Some s -> s
+        | None -> cfg.max_window);
+      dupacks = 0;
+      in_recovery = false;
+      recover = -1;
+      first_partial_done = false;
+      no_fastrtx_until = 0.;
+      ecn_guard = 0;
+      sacked = IntSet.empty;
+      hole_rtx = IntSet.empty;
+      srtt = 0.;
+      rttvar = 0.;
+      rtt_valid = false;
+      backoff = 1.;
+      rto_timer = None;
+      rtt_probe = None;
+      pkts_sent = 0;
+      bytes_sent = 0.;
+      n_timeouts = 0;
+      n_fast_rtx = 0;
+      n_rtx_pkts = 0;
+    }
+  in
+  Netsim.Node.attach src ~flow (handle_ack t);
+  t
+
+let start t =
+  if not (t.running || t.finished) then begin
+    t.running <- true;
+    try_send t
+  end
+
+let stop t =
+  t.running <- false;
+  cancel_rto t
+
+let flow t =
+  {
+    Flow.id = t.flow_id;
+    protocol = t.cfg.rule.name;
+    start = (fun () -> start t);
+    stop = (fun () -> stop t);
+    pkts_sent = (fun () -> t.pkts_sent);
+    bytes_sent = (fun () -> t.bytes_sent);
+    bytes_delivered = (fun () -> Sink.bytes_received t.sink);
+    current_rate =
+      (fun () ->
+        if t.rtt_valid && t.srtt > 0. then
+          t.cwnd *. float_of_int t.cfg.pkt_size /. t.srtt
+        else 0.);
+    srtt = (fun () -> t.srtt);
+  }
+
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let srtt t = t.srtt
+let timeouts t = t.n_timeouts
+let fast_retransmits t = t.n_fast_rtx
+let retransmitted_pkts t = t.n_rtx_pkts
+let finished t = t.finished

@@ -1,0 +1,80 @@
+(** Self-clocked window-based congestion control.
+
+    One sender implementation covers the paper's whole windowed family via a
+    pluggable increase/decrease {!rule}:
+
+    - TCP(b)   — AIMD with a = 4(2b - b^2)/3 (the paper's compatibility rule)
+    - SQRT / IIAD — binomial algorithms (Bansal & Balakrishnan)
+
+    Mechanisms included, per the paper's definition of TCP(b): slow-start,
+    duplicate-ack fast retransmit with NewReno-style partial-ack recovery,
+    retransmit timeouts with exponential backoff, Karn's algorithm for RTT
+    sampling, and strict self-clocking (data leaves only on ack arrival or
+    timer expiry — the packet-conservation principle of Section 4.1). *)
+
+type rule = {
+  name : string;
+  increase : float -> float;  (** window -> additive per-RTT increment *)
+  decrease : float -> float;  (** window -> new window after a loss event *)
+}
+
+(** Plain AIMD: increase a/RTT, multiply by (1-b) on loss. *)
+val aimd : a:float -> b:float -> rule
+
+(** TCP-compatible AIMD(b): a = 4(2b - b^2)/3 (Section 2). *)
+val tcp_compatible_aimd : b:float -> rule
+
+(** Binomial: increase a / w^k per RTT, decrease w - b w^l on loss. *)
+val binomial : k:float -> l:float -> a:float -> b:float -> rule
+
+type variant =
+  | Reno  (** fast retransmit + NewReno fast recovery (default) *)
+  | Tahoe  (** fast retransmit, then slow-start from one packet *)
+
+type config = {
+  rule : rule;
+  variant : variant;
+  sack : bool;
+      (** selective acknowledgments: a scoreboard drives loss recovery
+          (simplified RFC 3517); recovers multi-loss windows without
+          timeouts *)
+  pkt_size : int;  (** data bytes per packet *)
+  initial_window : float;
+  initial_ssthresh : float option;
+      (** [Some s] starts in congestion avoidance once the window reaches
+          [s]; [None] (default) slow-starts until the first loss *)
+  max_window : float;
+  min_rto : float;  (** seconds; ns-2-era default 0.2 *)
+  max_rto : float;
+  total_pkts : int option;  (** [Some n] for a short transfer of n packets *)
+  react_to_ecn : bool;
+  delayed_acks : bool;  (** receiver acks every other packet *)
+  on_complete : (unit -> unit) option;
+}
+
+val default_config : rule -> config
+
+type t
+
+(** Build sender on [src] and its acking sink on [dst]; the flow does not
+    transmit until [Flow.start]. *)
+val create :
+  sim:Engine.Sim.t ->
+  src:Netsim.Node.t ->
+  dst:Netsim.Node.t ->
+  flow:int ->
+  config ->
+  t
+
+val flow : t -> Flow.t
+
+(** Introspection for tests and instrumentation. *)
+val cwnd : t -> float
+
+val ssthresh : t -> float
+val srtt : t -> float
+val timeouts : t -> int
+val fast_retransmits : t -> int
+val retransmitted_pkts : t -> int
+val inflight : t -> int
+val finished : t -> bool

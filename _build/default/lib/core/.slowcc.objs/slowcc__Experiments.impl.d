@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Analysis Cc Engine Float List Metrics Netsim Printf Protocol Scenarios Table Transient

@@ -1,0 +1,1 @@
+lib/core/scenarios.ml: Cc Engine Float Fun List Metrics Netsim Protocol

@@ -1,0 +1,1 @@
+lib/core/table.ml: Buffer Filename Float Format List Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/transient.ml: Cc Engine Float List Metrics Netsim Protocol Table

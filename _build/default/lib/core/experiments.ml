@@ -1,0 +1,964 @@
+let fnum = Table.fnum
+let fpct = Table.fpct
+
+(* Scenario bandwidths.  The paper gives 15 Mbps for the 3:1 oscillation
+   experiments; for the others we size the link so that steady-state
+   per-flow windows land in the paper's regime (a few percent loss). *)
+let bw_restart = 60e6 (* 20 flows + half-link CBR -> ~7 pkts/RTT each *)
+let bw_flash = 10e6
+let bw_wave_31 = 15e6
+let bw_wave_101 = 10e6
+let bw_fair = 10e6
+let bw_double = 10e6
+let bw_pattern = 10e6
+
+let gammas_full = [ 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256. ]
+let gammas_quick = [ 2.; 16.; 256. ]
+let gamma_sweep quick = if quick then gammas_quick else gammas_full
+
+let restart_families =
+  [
+    ("TCP(1/g)", fun g -> Protocol.tcp ~gamma:g);
+    ("RAP(1/g)", fun g -> Protocol.rap ~gamma:g);
+    ("SQRT(1/g)", fun g -> Protocol.sqrt_ ~gamma:g);
+    ("TFRC(g)", fun g -> Protocol.tfrc ~k:(int_of_float g) ());
+    ( "TFRC(g)+SC",
+      fun g -> Protocol.tfrc ~conservative:true ~k:(int_of_float g) () );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: loss-rate time series around the CBR restart              *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ?(quick = false) () =
+  let protocols =
+    if quick then
+      [
+        ("TCP(1/2)", Protocol.tcp ~gamma:2.);
+        ("TFRC(256)", Protocol.tfrc ~k:256 ());
+        ("TFRC(256)+SC", Protocol.tfrc ~conservative:true ~k:256 ());
+      ]
+    else
+      [
+        ("TCP(1/2)", Protocol.tcp ~gamma:2.);
+        ("TCP(1/256)", Protocol.tcp ~gamma:256.);
+        ("SQRT(1/256)", Protocol.sqrt_ ~gamma:256.);
+        ("RAP(1/256)", Protocol.rap ~gamma:256.);
+        ("TFRC(256)", Protocol.tfrc ~k:256 ());
+        ("TFRC(256)+SC", Protocol.tfrc ~conservative:true ~k:256 ());
+      ]
+  in
+  let duration = if quick then 230. else 300. in
+  let results =
+    List.map
+      (fun (name, p) ->
+        (name, Scenarios.cbr_restart ~duration ~protocol:p ~bandwidth:bw_restart ()))
+      protocols
+  in
+  let sample_times =
+    List.init 17 (fun i -> 175. +. (2.5 *. float_of_int i))
+    |> List.filter (fun time -> time < duration)
+  in
+  let rows =
+    List.map
+      (fun time ->
+        fnum time
+        :: List.map
+             (fun (_, (r : Scenarios.cbr_restart_result)) ->
+               let v =
+                 Metrics.mean_between r.Scenarios.loss_series ~lo:time
+                   ~hi:(time +. 2.5)
+               in
+               fpct v)
+             results)
+      sample_times
+  in
+  let notes =
+    List.map
+      (fun (name, (r : Scenarios.cbr_restart_result)) ->
+        Printf.sprintf "%s steady-state loss %s" name (fpct r.Scenarios.steady_loss))
+      results
+  in
+  Table.make ~id:"fig3" ~title:"Drop rate after CBR restart at t=180s (2.5s bins)"
+    ~columns:("time(s)" :: List.map fst results)
+    ~notes rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4 and 5: stabilization time and cost vs gamma               *)
+(* ------------------------------------------------------------------ *)
+
+let stabilization_sweep ?(queue = Netsim.Dumbbell.Red) ~quick () =
+  let gammas = gamma_sweep quick in
+  List.map
+    (fun (family, make) ->
+      let cells =
+        List.map
+          (fun g ->
+            let r =
+              Scenarios.cbr_restart ~queue ~protocol:(make g)
+                ~bandwidth:bw_restart ()
+            in
+            (g, r.Scenarios.stab))
+          gammas
+      in
+      (family, cells))
+    restart_families
+
+let stab_tables ~id_time ~id_cost ~title_suffix sweep gammas =
+  let col_names = "gamma" :: List.map fst sweep in
+  let time_rows =
+    List.map
+      (fun g ->
+        fnum g
+        :: List.map
+             (fun (_, cells) ->
+               match List.assoc g (List.map (fun (g', s) -> (g', s)) cells) with
+               | Some (s : Metrics.stabilization) -> fnum s.Metrics.time_rtts
+               | None -> "-")
+             sweep)
+      gammas
+  in
+  let cost_rows =
+    List.map
+      (fun g ->
+        fnum g
+        :: List.map
+             (fun (_, cells) ->
+               match List.assoc g cells with
+               | Some (s : Metrics.stabilization) -> fnum s.Metrics.cost
+               | None -> "-")
+             sweep)
+      gammas
+  in
+  ( Table.make ~id:id_time
+      ~title:("Stabilization time in RTTs vs gamma" ^ title_suffix)
+      ~columns:col_names time_rows,
+    Table.make ~id:id_cost
+      ~title:("Stabilization cost vs gamma" ^ title_suffix)
+      ~columns:col_names cost_rows )
+
+let fig4_fig5 ?(quick = false) () =
+  let sweep = stabilization_sweep ~quick () in
+  stab_tables ~id_time:"fig4" ~id_cost:"fig5" ~title_suffix:" (RED)" sweep
+    (gamma_sweep quick)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: flash crowd                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 ?(quick = false) () =
+  let protocols =
+    [
+      ("TCP(1/2)", Protocol.tcp ~gamma:2.);
+      ("TFRC(256)", Protocol.tfrc ~k:256 ());
+      ("TFRC(256)+SC", Protocol.tfrc ~conservative:true ~k:256 ());
+    ]
+  in
+  let duration = if quick then 45. else 60. in
+  let results =
+    List.map
+      (fun (name, p) ->
+        (name, Scenarios.flash_crowd ~duration ~protocol:p ~bandwidth:bw_flash ()))
+      protocols
+  in
+  let times = List.init 21 (fun i -> 20. +. float_of_int i) in
+  let mbps ts lo = Metrics.mean_between ts ~lo ~hi:(lo +. 1.) *. 8. /. 1e6 in
+  let rows =
+    List.map
+      (fun time ->
+        fnum time
+        :: List.concat_map
+             (fun (_, (r : Scenarios.flash_crowd_result)) ->
+               [ fnum (mbps r.Scenarios.bg_rate time);
+                 fnum (mbps r.Scenarios.crowd_rate time) ])
+             results)
+      (List.filter (fun time -> time +. 1. < duration) times)
+  in
+  let notes =
+    List.map
+      (fun (name, (r : Scenarios.flash_crowd_result)) ->
+        Printf.sprintf "%s: crowd %d/%d flows done, mean completion %.2fs"
+          name r.Scenarios.crowd_completed r.Scenarios.crowd_started
+          r.Scenarios.mean_completion)
+      results
+  in
+  Table.make ~id:"fig6"
+    ~title:"Aggregate throughput (Mbps) around flash crowd at t=25s"
+    ~columns:
+      ("time(s)"
+      :: List.concat_map
+           (fun (name, _) -> [ name ^ " bg"; name ^ " crowd" ])
+           results)
+    ~notes rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7-9: long-term fairness under a 3:1 square wave             *)
+(* ------------------------------------------------------------------ *)
+
+let periods_full = [ 0.2; 0.4; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 100. ]
+let periods_quick = [ 0.4; 4.; 32. ]
+
+let fairness_wave ~id ~quick ~other_name ~other =
+  let periods = if quick then periods_quick else periods_full in
+  let tcp = Protocol.tcp ~gamma:2. in
+  let rows =
+    List.map
+      (fun period ->
+        let r =
+          Scenarios.square_wave
+            ~measure:(if quick then Float.max 60. (4. *. period) else Float.max 100. (8. *. period))
+            ~flows:[ (tcp, 5); (other, 5) ]
+            ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.) ~period ()
+        in
+        [
+          fnum period;
+          fnum (r.Scenarios.group_mean (Protocol.name tcp));
+          fnum (r.Scenarios.group_mean (Protocol.name other));
+          fnum r.Scenarios.utilization;
+          fpct r.Scenarios.drop_rate;
+        ])
+      periods
+  in
+  Table.make ~id
+    ~title:
+      (Printf.sprintf
+         "Normalized throughput, 5 TCP vs 5 %s, 3:1 bandwidth oscillation"
+         other_name)
+    ~columns:[ "period(s)"; "TCP"; other_name; "util"; "drop rate" ]
+    ~notes:
+      [ "normalized: 1.0 = fair share of the average available bandwidth" ]
+    rows
+
+let fig7 ?(quick = false) () =
+  fairness_wave ~id:"fig7" ~quick ~other_name:"TFRC(6)"
+    ~other:(Protocol.tfrc ~k:6 ())
+
+let fig8 ?(quick = false) () =
+  fairness_wave ~id:"fig8" ~quick ~other_name:"TCP(1/8)"
+    ~other:(Protocol.tcp ~gamma:8.)
+
+let fig9 ?(quick = false) () =
+  fairness_wave ~id:"fig9" ~quick ~other_name:"SQRT(1/2)"
+    ~other:(Protocol.sqrt_ ~gamma:2.)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 10 and 12: delta-fair convergence times                     *)
+(* ------------------------------------------------------------------ *)
+
+let convergence_table ~id ~title ~protocol_of ~params ~quick =
+  let n_trials = if quick then 1 else 3 in
+  let cap = if quick then 200. else 600. in
+  let rows =
+    List.map
+      (fun param ->
+        let time, converged =
+          Scenarios.fair_convergence ~n_trials ~cap
+            ~protocol:(protocol_of param) ~bandwidth:bw_fair ()
+        in
+        [
+          fnum param;
+          (if converged = 0 then Printf.sprintf ">%.0f" cap else fnum time);
+          Printf.sprintf "%d/%d" converged n_trials;
+        ])
+      params
+  in
+  Table.make ~id ~title
+    ~columns:[ "1/b"; "time to 0.1-fair (s)"; "converged" ]
+    rows
+
+let fig10 ?(quick = false) () =
+  let params = if quick then [ 2.; 8.; 64. ] else [ 2.; 4.; 8.; 16.; 32.; 64.; 128. ] in
+  convergence_table ~id:"fig10"
+    ~title:"Time to 0.1-fairness for two TCP(b) flows, B = 10 Mbps"
+    ~protocol_of:(fun g -> Protocol.tcp ~gamma:g)
+    ~params ~quick
+
+let fig12 ?(quick = false) () =
+  let params = if quick then [ 2.; 8.; 64. ] else [ 2.; 4.; 8.; 16.; 32.; 64.; 256. ] in
+  convergence_table ~id:"fig12"
+    ~title:"Time to 0.1-fairness for two TFRC(b) flows, B = 10 Mbps"
+    ~protocol_of:(fun g -> Protocol.tfrc ~k:(int_of_float g) ())
+    ~params ~quick
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: analytical ACK count for 0.1-fairness                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 ?quick:_ () =
+  let bs = [ 0.5; 0.25; 0.125; 1. /. 16.; 1. /. 32.; 1. /. 64.; 1. /. 128.; 1. /. 256. ] in
+  let rows =
+    List.map
+      (fun b ->
+        [
+          fnum (1. /. b);
+          Printf.sprintf "%.0f"
+            (Analysis.Aimd_convergence.acks_to_fairness ~b ~p:0.1 ~delta:0.1);
+        ])
+      bs
+  in
+  Table.make ~id:"fig11"
+    ~title:"Expected ACKs to 0.1-fairness, analytical, p = 0.1"
+    ~columns:[ "1/b"; "acks" ]
+    ~notes:[ "log(delta) / log(1 - b p) from Section 4.2.2" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: f(20) and f(200) after a bandwidth doubling              *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 ?(quick = false) () =
+  let params = if quick then [ 2.; 8.; 256. ] else [ 2.; 4.; 8.; 16.; 64.; 256. ] in
+  let t_stop = if quick then 60. else 300. in
+  let families =
+    [
+      ("TCP(1/b)", fun g -> Protocol.tcp ~gamma:g);
+      ("SQRT(1/b)", fun g -> Protocol.sqrt_ ~gamma:g);
+      ("TFRC(b)", fun g -> Protocol.tfrc ~k:(int_of_float g) ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun g ->
+        fnum g
+        :: List.concat_map
+             (fun (_, make) ->
+               let r =
+                 Scenarios.bandwidth_double ~t_stop ~protocol:(make g)
+                   ~bandwidth:bw_double ()
+               in
+               [ fnum r.Scenarios.f20; fnum r.Scenarios.f200 ])
+             families)
+      params
+  in
+  Table.make ~id:"fig13"
+    ~title:"Link utilization f(20), f(200) after the bandwidth doubles"
+    ~columns:
+      ("1/b"
+      :: List.concat_map (fun (n, _) -> [ n ^ " f20"; n ^ " f200" ]) families)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Figures 14-16: utilization under homogeneous oscillating load       *)
+(* ------------------------------------------------------------------ *)
+
+let onoff_times_full = [ 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5. ]
+let onoff_times_quick = [ 0.05; 0.2; 1. ]
+
+let homogeneous_wave ~quick ~bandwidth ~cbr_fraction =
+  let onoffs = if quick then onoff_times_quick else onoff_times_full in
+  let protocols =
+    [
+      ("TCP(1/8)", Protocol.tcp ~gamma:8.);
+      ("TCP", Protocol.tcp ~gamma:2.);
+      ("TFRC(6)", Protocol.tfrc ~k:6 ());
+    ]
+  in
+  List.map
+    (fun onoff ->
+      ( onoff,
+        List.map
+          (fun (name, p) ->
+            let r =
+              Scenarios.square_wave
+                ~measure:(if quick then 60. else 120.)
+                ~flows:[ (p, 10) ] ~bandwidth ~cbr_fraction
+                ~period:(2. *. onoff) ()
+            in
+            (name, r))
+          protocols ))
+    onoffs
+
+let wave_util_tables ~id_util ~id_drop ~title results =
+  let proto_names =
+    match results with
+    | (_, first) :: _ -> List.map fst first
+    | [] -> []
+  in
+  let util_rows =
+    List.map
+      (fun (onoff, cells) ->
+        fnum onoff
+        :: List.map
+             (fun (_, (r : Scenarios.square_wave_result)) ->
+               fnum r.Scenarios.utilization)
+             cells)
+      results
+  in
+  let drop_rows =
+    List.map
+      (fun (onoff, cells) ->
+        fnum onoff
+        :: List.map
+             (fun (_, (r : Scenarios.square_wave_result)) ->
+               fpct r.Scenarios.drop_rate)
+             cells)
+      results
+  in
+  ( Table.make ~id:id_util ~title:(title ^ ": link utilization")
+      ~columns:("on/off(s)" :: proto_names)
+      util_rows,
+    Table.make ~id:id_drop ~title:(title ^ ": packet drop rate")
+      ~columns:("on/off(s)" :: proto_names)
+      drop_rows )
+
+let fig14_fig15 ?(quick = false) () =
+  let results =
+    homogeneous_wave ~quick ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.)
+  in
+  wave_util_tables ~id_util:"fig14" ~id_drop:"fig15"
+    ~title:"3:1 oscillating bandwidth, 10 identical flows" results
+
+let fig16 ?(quick = false) () =
+  let results =
+    homogeneous_wave ~quick ~bandwidth:bw_wave_101 ~cbr_fraction:0.9
+  in
+  let util, _ =
+    wave_util_tables ~id_util:"fig16" ~id_drop:"fig16-drop"
+      ~title:"10:1 oscillating bandwidth, 10 identical flows" results
+  in
+  util
+
+(* ------------------------------------------------------------------ *)
+(* Figures 17-19: designed bursty loss patterns                        *)
+(* ------------------------------------------------------------------ *)
+
+let mild_pattern = Scenarios.Counts [ 50; 50; 50; 400; 400; 400 ]
+let harsh_pattern = Scenarios.Phases [ (6.0, 200); (1.0, 4) ]
+
+let pattern_table ~id ~title ~pattern ~protocols ~quick =
+  let duration = if quick then 40. else 60. in
+  let results =
+    List.map
+      (fun (name, p) ->
+        ( name,
+          Scenarios.loss_pattern ~duration ~protocol:p ~pattern
+            ~bandwidth:bw_pattern () ))
+      protocols
+  in
+  let times =
+    List.init 40 (fun i -> 30. +. (0.2 *. float_of_int i))
+    |> List.filter (fun time -> time < duration)
+  in
+  let rows =
+    List.map
+      (fun time ->
+        fnum time
+        :: List.map
+             (fun (_, (r : Scenarios.loss_pattern_result)) ->
+               fnum
+                 (Metrics.mean_between r.Scenarios.rate_02s ~lo:time
+                    ~hi:(time +. 0.2)
+                 *. 8. /. 1e6))
+             results)
+      times
+  in
+  let notes =
+    List.map
+      (fun (name, (r : Scenarios.loss_pattern_result)) ->
+        Printf.sprintf "%s: avg throughput %.2f Mbps, smoothness %.2f" name
+          (r.Scenarios.avg_throughput *. 8. /. 1e6)
+          r.Scenarios.smoothness)
+      results
+  in
+  Table.make ~id ~title
+    ~columns:("time(s)" :: List.map (fun (n, _) -> n ^ " Mbps") results)
+    ~notes rows
+
+let fig17 ?(quick = false) () =
+  pattern_table ~id:"fig17"
+    ~title:"Sending rate under the mild bursty loss pattern (0.2s bins)"
+    ~pattern:mild_pattern
+    ~protocols:
+      [
+        ("TFRC(6)", Protocol.tfrc ~k:6 ());
+        ("TCP(1/8)", Protocol.tcp ~gamma:8.);
+      ]
+    ~quick
+
+let fig18 ?(quick = false) () =
+  pattern_table ~id:"fig18"
+    ~title:"Sending rate under the harsh bursty loss pattern (0.2s bins)"
+    ~pattern:harsh_pattern
+    ~protocols:
+      [
+        ("TFRC(6)", Protocol.tfrc ~k:6 ());
+        ("TCP(1/8)", Protocol.tcp ~gamma:8.);
+        ("TCP(1/2)", Protocol.tcp ~gamma:2.);
+      ]
+    ~quick
+
+let fig19 ?(quick = false) () =
+  pattern_table ~id:"fig19"
+    ~title:"IIAD vs SQRT under the mild bursty loss pattern (0.2s bins)"
+    ~pattern:mild_pattern
+    ~protocols:
+      [
+        ("IIAD", Protocol.iiad ~gamma:2.);
+        ("SQRT", Protocol.sqrt_ ~gamma:2.);
+      ]
+    ~quick
+
+(* ------------------------------------------------------------------ *)
+(* Figure 20: response functions with and without timeouts             *)
+(* ------------------------------------------------------------------ *)
+
+let fig20 ?quick:_ () =
+  let ps = [ 0.01; 0.03; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          fnum p;
+          fnum (Analysis.Response_function.reno_padhye ~p ());
+          fnum (Analysis.Response_function.pure_aimd ~p ());
+          fnum (Analysis.Response_function.aimd_with_timeouts ~p);
+        ])
+      ps
+  in
+  Table.make ~id:"fig20"
+    ~title:"Throughput equations (packets/RTT) with and without timeouts"
+    ~columns:[ "p"; "Reno (Padhye)"; "pure AIMD"; "AIMD w/ timeouts" ]
+    ~notes:
+      [
+        "Reno lower-bounds TCP; AIMD-with-timeouts (Appendix A) upper-bounds it";
+        "pure AIMD is only meaningful for p < ~1/3";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Appendix A validation: measured TCP throughput across the whole loss
+   range, overlaid on the three analytic curves of Figure 20.  The
+   measured points must fall between the Reno lower bound and the
+   AIMD-with-timeouts upper bound.  The minimum RTO is set to one RTT so
+   the timeout backoff operates in RTT units, as the model assumes. *)
+let ablation_response_sim ?(quick = false) () =
+  let rtt = 0.05 in
+  let drop_every = if quick then [ 100; 4 ] else [ 300; 100; 30; 10; 6; 4; 3; 2 ] in
+  let measure ?(sack = false) n =
+    let sim = Engine.Sim.create () in
+    let rng = Engine.Rng.create ~seed:6 in
+    let make_queue () =
+      (* Random (Bernoulli) drops: the environment the analytic curves
+         assume.  Deterministic every-n-th drops phase-lock with backoff
+         retransmissions at high p. *)
+      Netsim.Loss_pattern.bernoulli ~rng:(Engine.Rng.split rng)
+        ~p:(1. /. float_of_int n)
+        (Netsim.Droptail.make ~capacity:100000)
+    in
+    let config =
+      {
+        (Netsim.Dumbbell.default_config ~bandwidth:50e6) with
+        Netsim.Dumbbell.queue = Netsim.Dumbbell.Custom make_queue;
+      }
+    in
+    let db = Netsim.Dumbbell.create ~sim ~rng config in
+    let src, dst = Netsim.Dumbbell.add_host_pair db in
+    let flow_id = Netsim.Dumbbell.fresh_flow db in
+    let cfg =
+      {
+        (Cc.Window_cc.default_config (Cc.Window_cc.tcp_compatible_aimd ~b:0.5)) with
+        Cc.Window_cc.min_rto = 4. *. rtt (* T0 = 4 RTT, as in the model *);
+        sack;
+      }
+    in
+    let tcp = Cc.Window_cc.create ~sim ~src ~dst ~flow:flow_id cfg in
+    let flow = Cc.Window_cc.flow tcp in
+    flow.Cc.Flow.start ();
+    let horizon = 120. in
+    Engine.Sim.run ~until:horizon sim;
+    flow.Cc.Flow.bytes_delivered () /. 1000. /. (horizon /. rtt)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let p = 1. /. float_of_int n in
+        [
+          fnum p;
+          fnum (measure n);
+          fnum (measure ~sack:true n);
+          fnum (Analysis.Response_function.reno_padhye ~p ());
+          fnum (Analysis.Response_function.pure_aimd ~p ());
+          fnum (Analysis.Response_function.aimd_with_timeouts ~p);
+        ])
+      drop_every
+  in
+  Table.make ~id:"ablation-response-sim"
+    ~title:"Measured TCP vs the Figure 20 analytic curves (pkts/RTT)"
+    ~columns:
+      [ "p"; "Reno meas."; "SACK meas."; "Reno (lower)"; "pure AIMD";
+        "timeouts (upper)" ]
+    ~notes:
+      [
+        "random (Bernoulli) loss; min RTO = 4 RTT to match the model's T0";
+        "measured points should track the Reno curve and sit below the \
+         timeouts upper bound; Appendix A predicts SACK between the lines";
+      ]
+    rows
+
+let ablation_self_clocking ?(quick = false) () =
+  let gammas = if quick then [ 8.; 256. ] else [ 8.; 32.; 64.; 256. ] in
+  let rows =
+    List.map
+      (fun g ->
+        let run conservative =
+          let r =
+            Scenarios.cbr_restart
+              ~protocol:(Protocol.tfrc ~conservative ~k:(int_of_float g) ())
+              ~bandwidth:bw_restart ()
+          in
+          match r.Scenarios.stab with
+          | Some s -> (s.Metrics.time_rtts, s.Metrics.cost)
+          | None -> (0., 0.)
+        in
+        let t_off, c_off = run false in
+        let t_on, c_on = run true in
+        [ fnum g; fnum t_off; fnum c_off; fnum t_on; fnum c_on ])
+      gammas
+  in
+  Table.make ~id:"ablation-self-clocking"
+    ~title:"TFRC(g) stabilization with and without self-clocking"
+    ~columns:[ "g"; "time(RTT) off"; "cost off"; "time(RTT) on"; "cost on" ]
+    rows
+
+let ablation_conservative_c ?(quick = false) () =
+  let cs = if quick then [ 1.1; 2.0 ] else [ 1.0; 1.1; 1.5; 2.0; 4.0 ] in
+  let rows =
+    List.map
+      (fun c ->
+        let r =
+          Scenarios.cbr_restart
+            ~protocol:
+              (Protocol.tfrc ~conservative:true ~conservative_c:c ~k:256 ())
+            ~bandwidth:bw_restart ()
+        in
+        match r.Scenarios.stab with
+        | Some s -> [ fnum c; fnum s.Metrics.time_rtts; fnum s.Metrics.cost ]
+        | None -> [ fnum c; "-"; "-" ])
+      cs
+  in
+  Table.make ~id:"ablation-conservative-c"
+    ~title:"Effect of the conservative option's C constant (TFRC(256)+SC)"
+    ~columns:[ "C"; "stab time (RTT)"; "stab cost" ]
+    rows
+
+let ablation_sawtooth ?(quick = false) () =
+  (* Section 4.2.1: sawtooth and reverse-sawtooth CBR patterns give
+     "essentially the same" TCP-over-TFRC advantage as the square wave,
+     only less pronounced.  Compare all three at the periods where the
+     square wave separates them most. *)
+  let periods = if quick then [ 4. ] else [ 2.; 4.; 8. ] in
+  let tcp = Protocol.tcp ~gamma:2. and tfrc = Protocol.tfrc ~k:6 () in
+  let shapes =
+    [
+      ("square", Scenarios.Square);
+      ("sawtooth", Scenarios.Sawtooth);
+      ("reverse sawtooth", Scenarios.Reverse_sawtooth);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun period ->
+        List.map
+          (fun (shape_name, shape) ->
+            let r =
+              Scenarios.square_wave ~shape
+                ~measure:(if quick then 60. else 120.)
+                ~flows:[ (tcp, 5); (tfrc, 5) ]
+                ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.) ~period ()
+            in
+            let m_tcp = r.Scenarios.group_mean (Protocol.name tcp) in
+            let m_tfrc = r.Scenarios.group_mean (Protocol.name tfrc) in
+            [
+              fnum period;
+              shape_name;
+              fnum m_tcp;
+              fnum m_tfrc;
+              fnum (m_tcp /. Float.max 0.01 m_tfrc);
+            ])
+          shapes)
+      periods
+  in
+  Table.make ~id:"ablation-sawtooth"
+    ~title:"TCP vs TFRC(6) under square, sawtooth and reverse-sawtooth CBR"
+    ~columns:[ "period(s)"; "shape"; "TCP"; "TFRC(6)"; "TCP/TFRC" ]
+    rows
+
+let ablation_droptail ?(quick = false) () =
+  let sweep =
+    stabilization_sweep ~queue:Netsim.Dumbbell.Droptail ~quick:true ()
+  in
+  ignore quick;
+  let _, cost = stab_tables ~id_time:"x" ~id_cost:"ablation-droptail"
+      ~title_suffix:" (droptail)" sweep gammas_quick
+  in
+  cost
+
+(* RTT unfairness (extension): the paper's introduction notes TCP does not
+   equalize flows with different round-trip times.  Measure the throughput
+   ratio of a short-RTT and a long-RTT flow of each protocol sharing one
+   bottleneck; TCP's known bias is roughly RTT^-1..-2, while rate-based
+   TFRC follows its equation's 1/R dependence. *)
+let ablation_rtt_fairness ?(quick = false) () =
+  let protocols =
+    if quick then [ ("TCP", Protocol.tcp ~gamma:2.) ]
+    else
+      [
+        ("TCP", Protocol.tcp ~gamma:2.);
+        ("TCP(1/8)", Protocol.tcp ~gamma:8.);
+        ("TFRC(6)", Protocol.tfrc ~k:6 ());
+        ("SQRT(1/2)", Protocol.sqrt_ ~gamma:2.);
+      ]
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        let env = Scenarios.make_env ~seed:31 ~bandwidth:10e6 () in
+        (* Base RTT 50 ms vs 150 ms (extra 25 ms per edge link). *)
+        let short = Protocol.spawn p env.Scenarios.db in
+        let long = Protocol.spawn ~extra_delay:0.025 p env.Scenarios.db in
+        short.Cc.Flow.start ();
+        long.Cc.Flow.start ();
+        Engine.Sim.run ~until:120. env.Scenarios.sim;
+        let ratio =
+          short.Cc.Flow.bytes_delivered ()
+          /. Float.max 1. (long.Cc.Flow.bytes_delivered ())
+        in
+        [ name; fnum ratio ])
+      protocols
+  in
+  Table.make ~id:"ablation-rtt-fairness"
+    ~title:"RTT bias: throughput(50ms flow) / throughput(150ms flow)"
+    ~columns:[ "protocol"; "short/long ratio" ]
+    ~notes:[ "1.0 would be RTT-independent sharing; TCP is known to be biased" ]
+    rows
+
+(* Binomial l-sweep (extension): k + l = 1 keeps TCP-compatibility; smaller
+   l is more slowly-responsive (Section 2).  Sweep l and report smoothness
+   under the mild bursty pattern and f(20) after a bandwidth doubling. *)
+let ablation_binomial_l ?(quick = false) () =
+  let ls = if quick then [ 0.; 1. ] else [ 0.; 0.25; 0.5; 0.75; 1. ] in
+  let rows =
+    List.map
+      (fun l ->
+        let k = 1. -. l in
+        let b =
+          (* Decrease equal to half the window at the reference point. *)
+          (sqrt (1.5 /. 0.01) ** (1. -. l)) /. 2.
+        in
+        let a = Analysis.Binomial_calibration.calibrate_a ~k ~l ~b () in
+        let rule = Cc.Window_cc.binomial ~k ~l ~a ~b in
+        let spawn db =
+          let sim = Netsim.Dumbbell.sim db in
+          let src, dst = Netsim.Dumbbell.add_host_pair db in
+          let flow_id = Netsim.Dumbbell.fresh_flow db in
+          let cfg = Cc.Window_cc.default_config rule in
+          Cc.Window_cc.flow (Cc.Window_cc.create ~sim ~src ~dst ~flow:flow_id cfg)
+        in
+        (* Smoothness under the mild pattern. *)
+        let sim = Engine.Sim.create () in
+        let rng = Engine.Rng.create ~seed:8 in
+        let make_queue () =
+          Netsim.Loss_pattern.by_count ~pattern:[ 50; 50; 50; 400; 400; 400 ]
+            (Netsim.Droptail.make ~capacity:1000)
+        in
+        let config =
+          {
+            (Netsim.Dumbbell.default_config ~bandwidth:bw_pattern) with
+            Netsim.Dumbbell.queue = Netsim.Dumbbell.Custom make_queue;
+          }
+        in
+        let db = Netsim.Dumbbell.create ~sim ~rng config in
+        let flow = spawn db in
+        flow.Cc.Flow.start ();
+        let rate =
+          Engine.Probe.sample_rate sim ~every:0.2 (fun () ->
+              flow.Cc.Flow.bytes_sent ())
+        in
+        Engine.Sim.run ~until:40. sim;
+        let measured = Engine.Timeseries.create () in
+        List.iter
+          (fun (time, v) ->
+            if time >= 10. then Engine.Timeseries.add measured ~time v)
+          (Engine.Timeseries.to_list rate);
+        let smooth = Metrics.smoothness ~floor:100. measured in
+        let thr = flow.Cc.Flow.bytes_delivered () *. 8. /. 40. /. 1e6 in
+        [ fnum l; fnum k; fnum a; fnum b; fnum smooth; fnum thr ])
+      ls
+  in
+  Table.make ~id:"ablation-binomial-l"
+    ~title:"Binomial family sweep along k + l = 1 (mild bursty pattern)"
+    ~columns:[ "l"; "k"; "a"; "b"; "smoothness"; "Mbps" ]
+    ~notes:
+      [
+        "l = 1 is AIMD (multiplicative decrease), l = 0 is IIAD-like";
+        "smaller l reduces the rate by less per loss -> smoother";
+      ]
+    rows
+
+(* Section 4.2.1's stronger claim: under 10:1 oscillations the TCP-over-
+   TFRC throughput advantage is "significantly more prominent" than under
+   3:1.  Compare the two directly at the worst-case periods. *)
+let ablation_10to1_fairness ?(quick = false) () =
+  let periods = if quick then [ 4. ] else [ 1.; 4.; 16. ] in
+  let tcp = Protocol.tcp ~gamma:2. and tfrc = Protocol.tfrc ~k:6 () in
+  let run ~bandwidth ~cbr_fraction period =
+    let r =
+      Scenarios.square_wave
+        ~measure:(if quick then 60. else 120.)
+        ~flows:[ (tcp, 5); (tfrc, 5) ]
+        ~bandwidth ~cbr_fraction ~period ()
+    in
+    let m_tcp = r.Scenarios.group_mean (Protocol.name tcp) in
+    let m_tfrc = r.Scenarios.group_mean (Protocol.name tfrc) in
+    m_tcp /. Float.max 0.01 m_tfrc
+  in
+  let rows =
+    List.map
+      (fun period ->
+        let r31 = run ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.) period in
+        let r101 = run ~bandwidth:bw_wave_101 ~cbr_fraction:0.9 period in
+        [ fnum period; fnum r31; fnum r101 ])
+      periods
+  in
+  Table.make ~id:"ablation-10to1-fairness"
+    ~title:"TCP/TFRC(6) throughput ratio: 3:1 vs 10:1 oscillations"
+    ~columns:[ "period(s)"; "3:1 ratio"; "10:1 ratio" ]
+    ~notes:[ "the paper reports the gap is markedly larger at 10:1" ]
+    rows
+
+(* Queue dynamics (extension, cf. the paper's reference [7]): average
+   occupancy and variability of the bottleneck queue when all flows use
+   one protocol, under RED and droptail.  SlowCC's gentler rate changes
+   should show as a steadier queue. *)
+let ablation_queue_dynamics ?(quick = false) () =
+  let protocols =
+    if quick then [ ("TCP", Protocol.tcp ~gamma:2.) ]
+    else
+      [
+        ("TCP", Protocol.tcp ~gamma:2.);
+        ("TCP(1/8)", Protocol.tcp ~gamma:8.);
+        ("TFRC(6)", Protocol.tfrc ~k:6 ());
+      ]
+  in
+  let queues = [ ("RED", Netsim.Dumbbell.Red); ("droptail", Netsim.Dumbbell.Droptail) ] in
+  let rows =
+    List.concat_map
+      (fun (qname, queue) ->
+        List.map
+          (fun (pname, p) ->
+            let env = Scenarios.make_env ~seed:23 ~queue ~bandwidth:10e6 () in
+            let flows = List.init 8 (fun _ -> Protocol.spawn p env.Scenarios.db) in
+            List.iter (fun (f : Cc.Flow.t) -> f.Cc.Flow.start ()) flows;
+            let link = Netsim.Dumbbell.bottleneck env.Scenarios.db in
+            let qlen =
+              Engine.Probe.sample_level env.Scenarios.sim ~every:0.05 (fun () ->
+                  float_of_int ((Netsim.Link.queue link).Netsim.Queue_intf.pkts ()))
+            in
+            Engine.Sim.run ~until:60. env.Scenarios.sim;
+            let stats = Engine.Stats.create () in
+            List.iter
+              (fun (time, v) -> if time > 20. then Engine.Stats.add stats v)
+              (Engine.Timeseries.to_list qlen);
+            [
+              pname;
+              qname;
+              fnum (Engine.Stats.mean stats);
+              fnum (Engine.Stats.stddev stats);
+              fnum (Engine.Stats.cov stats);
+            ])
+          protocols)
+      queues
+  in
+  Table.make ~id:"ablation-queue-dynamics"
+    ~title:"Bottleneck queue occupancy, 8 identical flows, 10 Mbps"
+    ~columns:[ "protocol"; "queue"; "mean (pkts)"; "stddev"; "CoV" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let names =
+  [
+    "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11";
+    "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "fig17"; "fig18"; "fig19";
+    "fig20"; "table-transient"; "ablation-self-clocking";
+    "ablation-conservative-c"; "ablation-droptail"; "ablation-sawtooth";
+    "ablation-response-sim"; "ablation-rtt-fairness"; "ablation-binomial-l";
+    "ablation-queue-dynamics"; "ablation-10to1-fairness";
+  ]
+
+let run_by_name ?(quick = false) name =
+  match name with
+  | "fig3" -> Some [ fig3 ~quick () ]
+  | "fig4" | "fig5" ->
+    let t4, t5 = fig4_fig5 ~quick () in
+    Some [ t4; t5 ]
+  | "fig6" -> Some [ fig6 ~quick () ]
+  | "fig7" -> Some [ fig7 ~quick () ]
+  | "fig8" -> Some [ fig8 ~quick () ]
+  | "fig9" -> Some [ fig9 ~quick () ]
+  | "fig10" -> Some [ fig10 ~quick () ]
+  | "fig11" -> Some [ fig11 ~quick () ]
+  | "fig12" -> Some [ fig12 ~quick () ]
+  | "fig13" -> Some [ fig13 ~quick () ]
+  | "fig14" | "fig15" ->
+    let t14, t15 = fig14_fig15 ~quick () in
+    Some [ t14; t15 ]
+  | "fig16" -> Some [ fig16 ~quick () ]
+  | "fig17" -> Some [ fig17 ~quick () ]
+  | "fig18" -> Some [ fig18 ~quick () ]
+  | "fig19" -> Some [ fig19 ~quick () ]
+  | "fig20" -> Some [ fig20 ~quick () ]
+  | "table-transient" -> Some [ Transient.table ~quick () ]
+  | "ablation-self-clocking" -> Some [ ablation_self_clocking ~quick () ]
+  | "ablation-conservative-c" -> Some [ ablation_conservative_c ~quick () ]
+  | "ablation-droptail" -> Some [ ablation_droptail ~quick () ]
+  | "ablation-sawtooth" -> Some [ ablation_sawtooth ~quick () ]
+  | "ablation-response-sim" -> Some [ ablation_response_sim ~quick () ]
+  | "ablation-rtt-fairness" -> Some [ ablation_rtt_fairness ~quick () ]
+  | "ablation-binomial-l" -> Some [ ablation_binomial_l ~quick () ]
+  | "ablation-queue-dynamics" -> Some [ ablation_queue_dynamics ~quick () ]
+  | "ablation-10to1-fairness" -> Some [ ablation_10to1_fairness ~quick () ]
+  | _ -> None
+
+let all ?emit ?(quick = false) () =
+  let acc = ref [] in
+  let push table =
+    (match emit with Some f -> f table | None -> ());
+    acc := table :: !acc
+  in
+  let push2 (a, b) =
+    push a;
+    push b
+  in
+  push (fig3 ~quick ());
+  push2 (fig4_fig5 ~quick ());
+  push (fig6 ~quick ());
+  push (fig7 ~quick ());
+  push (fig8 ~quick ());
+  push (fig9 ~quick ());
+  push (fig10 ~quick ());
+  push (fig11 ~quick ());
+  push (fig12 ~quick ());
+  push (fig13 ~quick ());
+  push2 (fig14_fig15 ~quick ());
+  push (fig16 ~quick ());
+  push (fig17 ~quick ());
+  push (fig18 ~quick ());
+  push (fig19 ~quick ());
+  push (fig20 ~quick ());
+  push (Transient.table ~quick ());
+  push (ablation_self_clocking ~quick ());
+  push (ablation_conservative_c ~quick ());
+  push (ablation_droptail ~quick ());
+  push (ablation_sawtooth ~quick ());
+  push (ablation_response_sim ~quick ());
+  push (ablation_rtt_fairness ~quick ());
+  push (ablation_binomial_l ~quick ());
+  push (ablation_queue_dynamics ~quick ());
+  push (ablation_10to1_fairness ~quick ());
+  List.rev !acc

@@ -1,0 +1,130 @@
+type t =
+  | Tcp of float
+  | Tcp_sack of float
+  | Rap of float
+  | Sqrt of float
+  | Iiad of float
+  | Tfrc of {
+      k : int;
+      conservative : bool;
+      conservative_c : float;
+      history_discounting : bool;
+    }
+  | Tear of int
+
+let check_gamma gamma =
+  if gamma < 1.5 then
+    invalid_arg "Protocol: gamma >= 1.5 required (gamma = 2 is standard TCP)"
+
+let tcp ~gamma =
+  check_gamma gamma;
+  Tcp gamma
+
+let tcp_sack ~gamma =
+  check_gamma gamma;
+  Tcp_sack gamma
+
+let rap ~gamma =
+  check_gamma gamma;
+  Rap gamma
+
+let sqrt_ ~gamma =
+  check_gamma gamma;
+  Sqrt gamma
+
+let iiad ~gamma =
+  check_gamma gamma;
+  Iiad gamma
+
+let tfrc ?(conservative = false) ?(conservative_c = 1.1)
+    ?(history_discounting = false) ~k () =
+  if k < 1 then invalid_arg "Protocol.tfrc: k >= 1";
+  Tfrc { k; conservative; conservative_c; history_discounting }
+
+let tear ~rounds =
+  if rounds < 1 then invalid_arg "Protocol.tear: rounds >= 1";
+  Tear rounds
+
+let name = function
+  | Tcp g -> Printf.sprintf "TCP(1/%g)" g
+  | Tcp_sack g -> Printf.sprintf "TCP-SACK(1/%g)" g
+  | Rap g -> Printf.sprintf "RAP(1/%g)" g
+  | Sqrt g -> Printf.sprintf "SQRT(1/%g)" g
+  | Iiad g -> Printf.sprintf "IIAD(1/%g)" g
+  | Tfrc { k; conservative; _ } ->
+    Printf.sprintf "TFRC(%d)%s" k (if conservative then "+SC" else "")
+  | Tear rounds -> Printf.sprintf "TEAR(%d)" rounds
+
+(* Binomial calibration is deterministic and pure; memoize per gamma. *)
+let sqrt_cache : (float, float * float) Hashtbl.t = Hashtbl.create 8
+let iiad_cache : (float, float * float) Hashtbl.t = Hashtbl.create 8
+
+let memo cache f gamma =
+  match Hashtbl.find_opt cache gamma with
+  | Some v -> v
+  | None ->
+    let v = f ~gamma () in
+    Hashtbl.replace cache gamma v;
+    v
+
+let window_rule = function
+  | Tcp gamma | Tcp_sack gamma ->
+    Cc.Window_cc.tcp_compatible_aimd ~b:(1. /. gamma)
+  | Sqrt gamma ->
+    let a, b = memo sqrt_cache (fun ~gamma () -> Analysis.Binomial_calibration.sqrt_params ~gamma ()) gamma in
+    Cc.Window_cc.binomial ~k:0.5 ~l:0.5 ~a ~b
+  | Iiad gamma ->
+    let a, b = memo iiad_cache (fun ~gamma () -> Analysis.Binomial_calibration.iiad_params ~gamma ()) gamma in
+    Cc.Window_cc.binomial ~k:1.0 ~l:0.0 ~a ~b
+  | Rap _ | Tfrc _ | Tear _ ->
+    invalid_arg "Protocol.window_rule: not window-based"
+
+let spawn ?(reverse = false) ?(extra_delay = 0.) ?(pkt_size = 1000)
+    ?total_pkts ?(ca_start = false) t db =
+  let sim = Netsim.Dumbbell.sim db in
+  let left, right = Netsim.Dumbbell.add_host_pair ~extra_delay db in
+  let src, dst = if reverse then (right, left) else (left, right) in
+  let flow_id = Netsim.Dumbbell.fresh_flow db in
+  match t with
+  | Tcp _ | Tcp_sack _ | Sqrt _ | Iiad _ ->
+    let cfg =
+      {
+        (Cc.Window_cc.default_config (window_rule t)) with
+        Cc.Window_cc.pkt_size;
+        total_pkts;
+        sack = (match t with Tcp_sack _ -> true | _ -> false);
+        initial_ssthresh = (if ca_start then Some 2. else None);
+      }
+    in
+    Cc.Window_cc.flow (Cc.Window_cc.create ~sim ~src ~dst ~flow:flow_id cfg)
+  | Rap gamma ->
+    if total_pkts <> None then
+      invalid_arg "Protocol.spawn: RAP flows are long-lived only";
+    let cfg =
+      { (Cc.Rap.tcp_compatible_config ~b:(1. /. gamma)) with Cc.Rap.pkt_size }
+    in
+    Cc.Rap.flow (Cc.Rap.create ~sim ~src ~dst ~flow:flow_id cfg)
+  | Tfrc { k; conservative; conservative_c; history_discounting } ->
+    if total_pkts <> None then
+      invalid_arg "Protocol.spawn: TFRC flows are long-lived only";
+    let cfg =
+      {
+        (Cc.Tfrc.default_config ~k) with
+        Cc.Tfrc.pkt_size;
+        conservative;
+        conservative_c;
+        history_discounting;
+      }
+    in
+    Cc.Tfrc.flow (Cc.Tfrc.create ~sim ~src ~dst ~flow:flow_id cfg)
+  | Tear rounds ->
+    if total_pkts <> None then
+      invalid_arg "Protocol.spawn: TEAR flows are long-lived only";
+    let cfg =
+      {
+        Cc.Tear.default_config with
+        Cc.Tear.pkt_size;
+        smoothing_rounds = rounds;
+      }
+    in
+    Cc.Tear.flow (Cc.Tear.create ~sim ~src ~dst ~flow:flow_id cfg)

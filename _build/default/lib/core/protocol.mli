@@ -1,0 +1,55 @@
+(** The gamma-parameterized congestion-control families of the paper.
+
+    gamma measures slowness: TCP(1/gamma) and RAP(1/gamma) reduce by a
+    factor 1/gamma per loss event, SQRT(1/gamma) reduces by a 1/gamma
+    fraction at the reference operating point, and TFRC(gamma) averages the
+    loss rate over gamma loss intervals.  Standard TCP is [tcp ~gamma:2.]. *)
+
+type t =
+  | Tcp of float  (** TCP(1/gamma): windowed AIMD + slow-start + RTO *)
+  | Tcp_sack of float  (** TCP(1/gamma) with selective acknowledgments *)
+  | Rap of float  (** RAP(1/gamma): rate-based AIMD, no self-clocking *)
+  | Sqrt of float  (** binomial k = l = 1/2, calibrated TCP-compatible *)
+  | Iiad of float  (** binomial k = 1, l = 0, calibrated TCP-compatible *)
+  | Tfrc of {
+      k : int;
+      conservative : bool;  (** the paper's self-clocking option *)
+      conservative_c : float;  (** the C constant; the paper uses 1.1 *)
+      history_discounting : bool;
+    }
+  | Tear of int  (** receiver-side TCP emulation, smoothing over n rounds *)
+
+val tcp : gamma:float -> t
+val tcp_sack : gamma:float -> t
+val rap : gamma:float -> t
+val sqrt_ : gamma:float -> t
+val iiad : gamma:float -> t
+val tfrc :
+  ?conservative:bool ->
+  ?conservative_c:float ->
+  ?history_discounting:bool ->
+  k:int ->
+  unit ->
+  t
+
+(** TEAR with [rounds] smoothed windows (the report uses about 8). *)
+val tear : rounds:int -> t
+
+val name : t -> string
+
+(** Create a host pair on the dumbbell and a flow of this protocol from
+    left to right ([reverse] for right to left).  The flow is not started.
+    [total_pkts] makes it a finite transfer (windowed protocols only).
+    [ca_start] makes windowed protocols begin in congestion avoidance at
+    their initial window — the paper's "established flow at one packet per
+    RTT" premise for transient-fairness experiments (no-op for rate-based
+    protocols, which have no slow-start threshold). *)
+val spawn :
+  ?reverse:bool ->
+  ?extra_delay:float ->
+  ?pkt_size:int ->
+  ?total_pkts:int ->
+  ?ca_start:bool ->
+  t ->
+  Netsim.Dumbbell.t ->
+  Cc.Flow.t

@@ -1,0 +1,87 @@
+type t = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~columns ?(notes = []) rows =
+  { id; title; columns; rows; notes }
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e6 then
+    Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100. then Printf.sprintf "%.1f" v
+  else if Float.abs v >= 1. then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.4f" v
+
+let fpct v = Printf.sprintf "%.2f%%" (100. *. v)
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.columns;
+  List.iter line t.rows;
+  List.iter
+    (fun note ->
+      Buffer.add_string buf ("# " ^ note);
+      Buffer.add_char buf '\n')
+    t.notes;
+  Buffer.contents buf
+
+let save_csv ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc;
+  path
+
+let print fmt t =
+  let widths =
+    List.mapi
+      (fun i col ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          (String.length col) t.rows)
+      t.columns
+  in
+  let pad width s = s ^ String.make (max 0 (width - String.length s)) ' ' in
+  let line cells =
+    let padded = List.map2 pad widths cells in
+    Format.fprintf fmt "  %s@." (String.concat "  " padded)
+  in
+  Format.fprintf fmt "@.== %s: %s ==@." (String.uppercase_ascii t.id) t.title;
+  line t.columns;
+  line (List.map (fun w -> String.make w '-') widths);
+  List.iter
+    (fun row ->
+      (* Ragged rows are padded with empties so print never raises. *)
+      let n = List.length t.columns in
+      let row =
+        if List.length row >= n then List.filteri (fun i _ -> i < n) row
+        else row @ List.init (n - List.length row) (fun _ -> "")
+      in
+      line row)
+    t.rows;
+  List.iter (fun note -> Format.fprintf fmt "  note: %s@." note) t.notes

@@ -1,0 +1,32 @@
+(** Plain-text result tables: every experiment renders one (or more) of
+    these, mirroring a figure of the paper. *)
+
+type t = {
+  id : string;  (** e.g. "fig4" *)
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  columns:string list ->
+  ?notes:string list ->
+  string list list ->
+  t
+
+val print : Format.formatter -> t -> unit
+
+(** CSV rendering: header line, data rows, notes as trailing [# ] comment
+    lines.  Cells containing commas or quotes are quoted. *)
+val to_csv : t -> string
+
+(** [save_csv ~dir t] writes [dir/<id>.csv]; creates [dir] if needed. *)
+val save_csv : dir:string -> t -> string
+
+(** Formatting helpers. *)
+val fnum : float -> string
+
+val fpct : float -> string

@@ -1,0 +1,114 @@
+let rtt = 0.05
+
+let build_env ~seed ~bandwidth ~make_queue =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let config =
+    {
+      (Netsim.Dumbbell.default_config ~bandwidth) with
+      Netsim.Dumbbell.queue = Netsim.Dumbbell.Custom (make_queue sim);
+    }
+  in
+  let db = Netsim.Dumbbell.create ~sim ~rng config in
+  (sim, db)
+
+let responsiveness ?(seed = 2) ?(bandwidth = 20e6) protocol =
+  let t_congest = 40. in
+  let make_queue sim () =
+    (* Light steady loss keeps the flow at a defined operating point, then
+       persistent congestion of one loss per RTT begins at [t_congest]. *)
+    Netsim.Droptail.make ~capacity:10000
+    |> Netsim.Loss_pattern.by_count ~pattern:[ 300 ]
+    |> Netsim.Loss_pattern.one_per_interval ~sim ~interval:rtt ~start:t_congest
+  in
+  let sim, db = build_env ~seed ~bandwidth ~make_queue in
+  let flow = Protocol.spawn protocol db in
+  flow.Cc.Flow.start ();
+  let rate =
+    Engine.Probe.sample_rate sim ~every:rtt (fun () ->
+        flow.Cc.Flow.bytes_sent ())
+  in
+  Engine.Sim.run ~until:(t_congest +. 100.) sim;
+  let before =
+    Metrics.mean_between rate ~lo:(t_congest -. (10. *. rtt)) ~hi:t_congest
+  in
+  if before <= 0. then None
+  else begin
+    let halved =
+      List.find_opt
+        (fun (_, v) -> v <= before /. 2.)
+        (Engine.Timeseries.between rate ~lo:t_congest ~hi:Float.infinity)
+    in
+    match halved with
+    | Some (t, _) -> Some ((t -. t_congest) /. rtt)
+    | None -> None
+  end
+
+let aggressiveness ?(seed = 2) ?(bandwidth = 50e6) protocol =
+  let t_clear = 40. in
+  let make_queue sim () =
+    (* Periodic loss pins the rate low; all losses stop at [t_clear]. *)
+    Netsim.Droptail.make ~capacity:100000
+    |> Netsim.Loss_pattern.by_phase ~sim
+         ~phases:[ (t_clear, 150); (1000., 0) ]
+  in
+  let sim, db = build_env ~seed ~bandwidth ~make_queue in
+  let flow = Protocol.spawn protocol db in
+  flow.Cc.Flow.start ();
+  let rate =
+    Engine.Probe.sample_rate sim ~every:rtt (fun () ->
+        flow.Cc.Flow.bytes_sent ())
+  in
+  Engine.Sim.run ~until:(t_clear +. 30.) sim;
+  (* Slope of the loss-free ramp: averaged rate over two windows a known
+     number of RTTs apart, in packets/RTT per RTT.  Averaging over several
+     bins removes per-bin send quantization that would otherwise dominate. *)
+  let window lo hi =
+    Metrics.mean_between rate ~lo:(t_clear +. (lo *. rtt))
+      ~hi:(t_clear +. (hi *. rtt))
+    *. rtt /. 1000.
+  in
+  let r1 = window 4. 10. and r2 = window 14. 20. in
+  Float.max 0. ((r2 -. r1) /. 10.)
+
+let paper_protocols =
+  [
+    ("TCP", Protocol.tcp ~gamma:2.);
+    ("TCP(1/8)", Protocol.tcp ~gamma:8.);
+    ("SQRT(1/2)", Protocol.sqrt_ ~gamma:2.);
+    ("IIAD", Protocol.iiad ~gamma:2.);
+    ("RAP", Protocol.rap ~gamma:2.);
+    ("TFRC(6)", Protocol.tfrc ~k:6 ());
+    ("TFRC(256)", Protocol.tfrc ~k:256 ());
+    ("TEAR(8)", Protocol.tear ~rounds:8);
+  ]
+
+let table ?(quick = false) () =
+  let protocols =
+    if quick then
+      List.filter
+        (fun (n, _) -> List.mem n [ "TCP"; "TFRC(6)" ])
+        paper_protocols
+    else paper_protocols
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        let resp =
+          match responsiveness p with
+          | Some r -> Table.fnum r
+          | None -> ">2000"
+        in
+        let aggr = aggressiveness p in
+        [ name; resp; Table.fnum aggr ])
+      protocols
+  in
+  Table.make ~id:"table-transient"
+    ~title:"Responsiveness and aggressiveness (Section 3 definitions)"
+    ~columns:[ "protocol"; "RTTs to halve rate"; "max incr (pkt/RTT/RTT)" ]
+    ~notes:
+      [
+        "paper: TCP responsiveness 1, deployed TFRC 4-6";
+        "aggressiveness of AIMD(a,b) is the constant a (1 for TCP)";
+      ]
+    rows

@@ -1,0 +1,24 @@
+(** The paper's transient-response metrics (Section 3).
+
+    - {e responsiveness}: RTTs of persistent congestion (one packet lost
+      per RTT) until the sender halves its sending rate.  TCP's is 1; the
+      paper quotes 4-6 for deployed TFRC.
+    - {e aggressiveness}: maximum increase of the sending rate in one RTT,
+      in packets per RTT, in the absence of congestion.  For AIMD(a, b)
+      it is the constant [a]. *)
+
+(** [responsiveness protocol] runs one flow to steady state under light
+    loss, then applies one loss per RTT and returns the number of RTTs
+    until the sending rate first falls to half its pre-congestion value
+    ([None] if it never does within the horizon). *)
+val responsiveness :
+  ?seed:int -> ?bandwidth:float -> Protocol.t -> float option
+
+(** [aggressiveness protocol] holds a flow at a loss-bound operating point,
+    removes all losses, and returns the largest per-RTT increase of the
+    sending rate (packets per RTT per RTT) over the recovery, measured
+    outside slow-start. *)
+val aggressiveness : ?seed:int -> ?bandwidth:float -> Protocol.t -> float
+
+(** Table of both metrics across the paper's protocols. *)
+val table : ?quick:bool -> unit -> Table.t

@@ -1,0 +1,1 @@
+lib/engine/probe.ml: Sim Timeseries

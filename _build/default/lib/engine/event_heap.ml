@@ -1,0 +1,73 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 256
+
+let create () = { arr = [||]; len = 0; next_seq = 0 }
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.arr in
+  let new_cap = if cap = 0 then initial_capacity else cap * 2 in
+  let dummy = t.arr.(0) in
+  let arr = Array.make new_cap dummy in
+  Array.blit t.arr 0 arr 0 t.len;
+  t.arr <- arr
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.arr.(i) t.arr.(parent) then begin
+      let tmp = t.arr.(i) in
+      t.arr.(i) <- t.arr.(parent);
+      t.arr.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.len && lt t.arr.(left) t.arr.(!smallest) then smallest := left;
+  if right < t.len && lt t.arr.(right) t.arr.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.arr.(i) in
+    t.arr.(i) <- t.arr.(!smallest);
+    t.arr.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t ~time value =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_heap.add: non-finite time";
+  let entry = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = 0 && Array.length t.arr = 0 then
+    t.arr <- Array.make initial_capacity entry
+  else if t.len = Array.length t.arr then grow t;
+  t.arr.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.arr.(0) <- t.arr.(t.len);
+      sift_down t 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.arr.(0).time
+let size t = t.len
+let is_empty t = t.len = 0
+let clear t = t.len <- 0

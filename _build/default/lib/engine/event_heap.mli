@@ -1,0 +1,21 @@
+(** Binary min-heap of timed events with FIFO tie-breaking.
+
+    Events scheduled for the same time are popped in insertion order, which
+    matters for deterministic simulation of ack-clocked protocols. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add t ~time v] schedules [v] at [time].  [time] must be finite. *)
+val add : 'a t -> time:float -> 'a -> unit
+
+(** Remove and return the earliest event, or [None] if empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Earliest event time without removing it. *)
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

@@ -1,0 +1,25 @@
+let sample_level ?stop sim ~every f =
+  let ts = Timeseries.create () in
+  Sim.every ?stop sim ~interval:every (fun () ->
+      Timeseries.add ts ~time:(Sim.now sim) (f ()));
+  ts
+
+let sample_rate ?stop sim ~every f =
+  let ts = Timeseries.create () in
+  let prev = ref (f ()) in
+  Sim.every ?stop sim ~interval:every (fun () ->
+      let cur = f () in
+      Timeseries.add ts ~time:(Sim.now sim) ((cur -. !prev) /. every);
+      prev := cur);
+  ts
+
+let sample_ratio ?stop sim ~every ~num ~den =
+  let ts = Timeseries.create () in
+  let prev_num = ref (num ()) and prev_den = ref (den ()) in
+  Sim.every ?stop sim ~interval:every (fun () ->
+      let n = num () and d = den () in
+      let dn = n -. !prev_num and dd = d -. !prev_den in
+      Timeseries.add ts ~time:(Sim.now sim) (if dd > 0. then dn /. dd else 0.);
+      prev_num := n;
+      prev_den := d);
+  ts

@@ -1,0 +1,21 @@
+(** Periodic samplers turning instantaneous readings into time series. *)
+
+(** [sample_level sim ~every f] records [f ()] every [every] seconds. *)
+val sample_level :
+  ?stop:float -> Sim.t -> every:float -> (unit -> float) -> Timeseries.t
+
+(** [sample_rate sim ~every f] treats [f ()] as a cumulative counter and
+    records its per-second rate of change over each interval. *)
+val sample_rate :
+  ?stop:float -> Sim.t -> every:float -> (unit -> float) -> Timeseries.t
+
+(** [sample_ratio sim ~every ~num ~den] records the ratio of the increments
+    of two cumulative counters over each interval (e.g. drops / arrivals),
+    or 0 when the denominator did not advance. *)
+val sample_ratio :
+  ?stop:float ->
+  Sim.t ->
+  every:float ->
+  num:(unit -> float) ->
+  den:(unit -> float) ->
+  Timeseries.t

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random generator (SplitMix64).
+
+    Every stochastic choice in the simulator flows from one of these, so a
+    seed fully determines a run. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Independent stream derived from [t]; advancing one does not perturb the
+    other. *)
+val split : t -> t
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform in [\[0, bound)]; [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [\[lo, hi)]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Exponential with the given [mean]. *)
+val exponential : t -> mean:float -> float
+
+(** Bernoulli trial with success probability [p]. *)
+val bernoulli : t -> p:float -> bool

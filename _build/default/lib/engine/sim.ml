@@ -1,0 +1,77 @@
+type handle = { mutable live : bool }
+
+type t = {
+  heap : (unit -> unit) Event_heap.t;
+  mutable now : float;
+  mutable running : bool;
+  mutable processed : int;
+}
+
+let create () =
+  { heap = Event_heap.create (); now = 0.; running = false; processed = 0 }
+
+let now t = t.now
+
+let at t time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time t.now);
+  Event_heap.add t.heap ~time f
+
+let after t delay f = at t (t.now +. delay) f
+
+let at_cancellable t time f =
+  let handle = { live = true } in
+  let guarded () =
+    if handle.live then begin
+      handle.live <- false;
+      f ()
+    end
+  in
+  at t time guarded;
+  handle
+
+let after_cancellable t delay f = at_cancellable t (t.now +. delay) f
+
+let cancel handle = handle.live <- false
+let pending handle = handle.live
+
+let every ?(stop = Float.infinity) t ~interval f =
+  if interval <= 0. then invalid_arg "Sim.every: non-positive interval";
+  let rec tick () =
+    if t.now <= stop then begin
+      f ();
+      let next = t.now +. interval in
+      if next <= stop then at t next tick
+    end
+  in
+  let first = t.now +. interval in
+  if first <= stop then at t first tick
+
+let stop t = t.running <- false
+
+let run ?(until = Float.infinity) t =
+  t.running <- true;
+  let rec loop () =
+    if t.running then
+      match Event_heap.peek_time t.heap with
+      | None -> t.running <- false
+      | Some time when time > until ->
+        (* Leave the event in the heap so the simulation can resume from
+           this clock later; park the clock at the horizon. *)
+        t.now <- until;
+        t.running <- false
+      | Some _ ->
+        (match Event_heap.pop t.heap with
+        | Some (time, f) ->
+          t.now <- time;
+          t.processed <- t.processed + 1;
+          f ()
+        | None -> t.running <- false);
+        loop ()
+  in
+  loop ();
+  if Event_heap.is_empty t.heap && t.now < until && Float.is_finite until then
+    t.now <- until
+
+let events_processed t = t.processed

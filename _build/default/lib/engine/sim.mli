@@ -1,0 +1,47 @@
+(** Discrete-event simulation clock and scheduler.
+
+    A [Sim.t] owns the virtual clock and an event heap of thunks.  All
+    simulated components schedule closures through it; [run] drains events
+    in time order until the heap is empty or a stop condition fires. *)
+
+type t
+
+(** A handle to a scheduled event that can be cancelled. *)
+type handle
+
+val create : unit -> t
+
+(** Current virtual time in seconds. *)
+val now : t -> float
+
+(** [at t time f] runs [f] at absolute [time].  Scheduling in the past
+    raises [Invalid_argument]. *)
+val at : t -> float -> (unit -> unit) -> unit
+
+(** [after t delay f] runs [f] at [now t +. delay]. *)
+val after : t -> float -> (unit -> unit) -> unit
+
+(** Cancellable variants. *)
+val at_cancellable : t -> float -> (unit -> unit) -> handle
+
+val after_cancellable : t -> float -> (unit -> unit) -> handle
+
+(** Cancel an event; a no-op if already fired or cancelled. *)
+val cancel : handle -> unit
+
+(** True if the handle has neither fired nor been cancelled. *)
+val pending : handle -> bool
+
+(** [every t ~interval ~stop f] runs [f] every [interval] seconds starting
+    at [now +. interval] until [stop] (absolute time, default: forever). *)
+val every : ?stop:float -> t -> interval:float -> (unit -> unit) -> unit
+
+(** Drain events until the heap is empty, [until] is reached (the clock is
+    then left at [until]), or [stop] is called. *)
+val run : ?until:float -> t -> unit
+
+(** Stop [run] after the current event completes. *)
+val stop : t -> unit
+
+(** Number of events processed so far. *)
+val events_processed : t -> int

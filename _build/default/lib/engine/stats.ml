@@ -1,0 +1,54 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  mutable sum : float;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; sum = 0. }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+let sum t = t.sum
+let cov t = if mean t = 0. then 0. else stddev t /. mean t
+
+let jain_index xs =
+  match xs with
+  | [] -> 1.
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0. xs in
+    let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 = 0. then 1. else s *. s /. (n *. s2)
+
+let percentile q xs =
+  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q outside [0,1]";
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n = 1 then arr.(0)
+    else begin
+      let pos = q *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor pos) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = pos -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    end

@@ -1,0 +1,26 @@
+(** Online summary statistics (Welford) plus small helpers on lists. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** Sample variance; 0 for fewer than two observations. *)
+val variance : t -> float
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val sum : t -> float
+
+(** Coefficient of variation (stddev / mean); 0 when the mean is 0. *)
+val cov : t -> float
+
+(** Jain's fairness index of a list of allocations:
+    [(sum x)^2 / (n * sum x^2)].  1 for perfectly equal shares. *)
+val jain_index : float list -> float
+
+(** [percentile q xs] with [q] in [\[0, 1\]], linear interpolation. *)
+val percentile : float -> float list -> float

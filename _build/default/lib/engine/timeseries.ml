@@ -1,0 +1,77 @@
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create () = { times = [||]; values = [||]; len = 0 }
+
+let grow t =
+  let cap = Array.length t.times in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  let times = Array.make new_cap 0. and values = Array.make new_cap 0. in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.values 0 values 0 t.len;
+  t.times <- times;
+  t.values <- values
+
+let add t ~time v =
+  if t.len > 0 && time < t.times.(t.len - 1) then
+    invalid_arg "Timeseries.add: non-monotonic time";
+  if t.len = Array.length t.times then grow t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- v;
+  t.len <- t.len + 1
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let to_list t =
+  let rec build i acc =
+    if i < 0 then acc else build (i - 1) ((t.times.(i), t.values.(i)) :: acc)
+  in
+  build (t.len - 1) []
+
+let between t ~lo ~hi =
+  let rec build i acc =
+    if i < 0 then acc
+    else begin
+      let time = t.times.(i) in
+      if time < lo then acc
+      else if time >= hi then build (i - 1) acc
+      else build (i - 1) ((time, t.values.(i)) :: acc)
+    end
+  in
+  build (t.len - 1) []
+
+let mean_between t ~lo ~hi =
+  let n = ref 0 and sum = ref 0. in
+  for i = 0 to t.len - 1 do
+    let time = t.times.(i) in
+    if time >= lo && time < hi then begin
+      incr n;
+      sum := !sum +. t.values.(i)
+    end
+  done;
+  if !n = 0 then None else Some (!sum /. float_of_int !n)
+
+let last t =
+  if t.len = 0 then None else Some (t.times.(t.len - 1), t.values.(t.len - 1))
+
+let max_consecutive_ratio ?(floor = 1e-9) t =
+  let worst = ref 1. in
+  for i = 1 to t.len - 1 do
+    let a = t.values.(i - 1) and b = t.values.(i) in
+    if a > floor && b > floor then begin
+      let ratio = if a > b then a /. b else b /. a in
+      if ratio > !worst then worst := ratio
+    end
+  done;
+  !worst
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.times.(i) t.values.(i)
+  done;
+  !acc

@@ -1,0 +1,27 @@
+(** Append-only time series of (time, value) samples with windowed queries. *)
+
+type t
+
+val create : unit -> t
+val add : t -> time:float -> float -> unit
+val length : t -> int
+val is_empty : t -> bool
+
+(** All samples in chronological order. *)
+val to_list : t -> (float * float) list
+
+(** Samples with [lo <= time < hi]. *)
+val between : t -> lo:float -> hi:float -> (float * float) list
+
+(** Mean of values with [lo <= time < hi]; [None] if no samples. *)
+val mean_between : t -> lo:float -> hi:float -> float option
+
+val last : t -> (float * float) option
+
+(** Largest ratio between consecutive values, ignoring pairs where either
+    value is below [floor] (to avoid division blow-ups near zero).  This is
+    the paper's smoothness metric when values are per-RTT sending rates. *)
+val max_consecutive_ratio : ?floor:float -> t -> float
+
+(** Fold left over samples. *)
+val fold : t -> init:'a -> f:('a -> float -> float -> 'a) -> 'a

@@ -1,0 +1,1 @@
+lib/netsim/droptail.mli: Queue_intf

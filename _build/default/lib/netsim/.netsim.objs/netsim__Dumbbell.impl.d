@@ -1,0 +1,1 @@
+lib/netsim/dumbbell.ml: Droptail Engine Float Link Node Queue_intf Red

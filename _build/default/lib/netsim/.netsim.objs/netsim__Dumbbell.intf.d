@@ -1,0 +1,1 @@
+lib/netsim/dumbbell.mli: Engine Link Node Queue_intf

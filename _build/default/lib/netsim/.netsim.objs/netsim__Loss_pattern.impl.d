@@ -1,0 +1,1 @@
+lib/netsim/loss_pattern.ml: Array Engine List Packet Queue_intf

@@ -1,0 +1,1 @@
+lib/netsim/loss_pattern.mli: Engine Queue_intf

@@ -1,0 +1,1 @@
+lib/netsim/parking_lot.ml: Array Droptail Dumbbell Engine Float Link Node Red

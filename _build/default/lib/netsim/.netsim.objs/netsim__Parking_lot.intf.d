@@ -1,0 +1,1 @@
+lib/netsim/parking_lot.mli: Dumbbell Engine Link Node

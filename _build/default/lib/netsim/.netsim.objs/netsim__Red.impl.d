@@ -1,0 +1,1 @@
+lib/netsim/red.ml: Engine Float Packet Queue Queue_intf

@@ -1,0 +1,1 @@
+lib/netsim/red.mli: Engine Queue_intf

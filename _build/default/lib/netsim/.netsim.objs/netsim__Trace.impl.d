@@ -1,0 +1,1 @@
+lib/netsim/trace.ml: Engine Format Link Packet

@@ -1,0 +1,26 @@
+let make ~capacity =
+  if capacity <= 0 then invalid_arg "Droptail.make: capacity must be positive";
+  let q : Packet.t Queue.t = Queue.create () in
+  let bytes = ref 0 in
+  let enqueue (pkt : Packet.t) : Queue_intf.action =
+    if Queue.length q >= capacity then Queue_intf.Dropped
+    else begin
+      Queue.add pkt q;
+      bytes := !bytes + pkt.Packet.size;
+      Queue_intf.Enqueued
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt q with
+    | None -> None
+    | Some pkt ->
+      bytes := !bytes - pkt.Packet.size;
+      Some pkt
+  in
+  {
+    Queue_intf.name = "droptail";
+    enqueue;
+    dequeue;
+    pkts = (fun () -> Queue.length q);
+    bytes = (fun () -> !bytes);
+  }

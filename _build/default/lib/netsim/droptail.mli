@@ -1,0 +1,3 @@
+(** FIFO queue with a hard capacity in packets. *)
+
+val make : capacity:int -> Queue_intf.t

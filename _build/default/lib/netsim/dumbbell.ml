@@ -1,0 +1,115 @@
+type queue_kind =
+  | Red
+  | Red_ecn
+  | Droptail
+  | Custom of (unit -> Queue_intf.t)
+
+type config = {
+  bandwidth : float;
+  rtt : float;
+  pkt_size : int;
+  queue : queue_kind;
+}
+
+let default_config ~bandwidth =
+  { bandwidth; rtt = 0.05; pkt_size = 1000; queue = Red }
+
+let bdp_packets c = c.bandwidth *. c.rtt /. (8. *. float_of_int c.pkt_size)
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  config : config;
+  left_router : Node.t;
+  right_router : Node.t;
+  bottleneck : Link.t;
+  bottleneck_rev : Link.t;
+  mutable next_node_id : int;
+  mutable next_flow_id : int;
+}
+
+let make_queue ~sim ~rng c =
+  let bdp = Float.max 4. (bdp_packets c) in
+  let capacity = int_of_float (Float.max 8. (2.5 *. bdp)) in
+  match c.queue with
+  | Droptail -> Droptail.make ~capacity
+  | Custom f -> f ()
+  | Red | Red_ecn ->
+    let params =
+      {
+        Red.default_params with
+        min_th = 0.25 *. bdp;
+        max_th = 1.25 *. bdp;
+        capacity;
+        ecn = (c.queue = Red_ecn);
+        mean_pkt_tx_time = float_of_int (c.pkt_size * 8) /. c.bandwidth;
+      }
+    in
+    Red.make ~sim ~rng:(Engine.Rng.split rng) params
+
+(* RTT budget: 2 x (bottleneck_prop + 2 x edge_prop) = rtt, with edge_prop
+   set to rtt/20 so the bottleneck carries most of the delay. *)
+let edge_prop c = c.rtt /. 20.
+let bottleneck_prop c = (c.rtt /. 2.) -. (2. *. edge_prop c)
+
+let edge_bandwidth c = Float.max 1e8 (100. *. c.bandwidth)
+
+let create ~sim ~rng config =
+  if config.bandwidth <= 0. then invalid_arg "Dumbbell.create: bandwidth";
+  if config.rtt <= 0. then invalid_arg "Dumbbell.create: rtt";
+  let left_router = Node.create ~id:0 and right_router = Node.create ~id:1 in
+  let mk_bottleneck () =
+    Link.make ~sim ~bandwidth:config.bandwidth ~delay:(bottleneck_prop config)
+      ~queue:(make_queue ~sim ~rng config)
+  in
+  let bottleneck = mk_bottleneck () and bottleneck_rev = mk_bottleneck () in
+  Link.connect bottleneck (Node.receive right_router);
+  Link.connect bottleneck_rev (Node.receive left_router);
+  Node.set_default_route left_router bottleneck;
+  Node.set_default_route right_router bottleneck_rev;
+  {
+    sim;
+    rng;
+    config;
+    left_router;
+    right_router;
+    bottleneck;
+    bottleneck_rev;
+    next_node_id = 2;
+    next_flow_id = 0;
+  }
+
+let sim t = t.sim
+let config t = t.config
+let bottleneck t = t.bottleneck
+let bottleneck_rev t = t.bottleneck_rev
+
+let fresh_node_id t =
+  let id = t.next_node_id in
+  t.next_node_id <- id + 1;
+  id
+
+let fresh_flow t =
+  let id = t.next_flow_id in
+  t.next_flow_id <- id + 1;
+  id
+
+let edge_link t ~extra_delay =
+  Link.make ~sim:t.sim ~bandwidth:(edge_bandwidth t.config)
+    ~delay:(edge_prop t.config +. extra_delay)
+    ~queue:(Droptail.make ~capacity:100000)
+
+let attach_host t router host ~extra_delay =
+  let up = edge_link t ~extra_delay and down = edge_link t ~extra_delay in
+  Link.connect up (Node.receive router);
+  Link.connect down (Node.receive host);
+  Node.set_default_route host up;
+  Node.add_route router ~dst:(Node.id host) down
+
+let add_host_pair ?(extra_delay = 0.) t =
+  if extra_delay < 0. then invalid_arg "Dumbbell.add_host_pair: extra_delay";
+  let left = Node.create ~id:(fresh_node_id t) in
+  let right = Node.create ~id:(fresh_node_id t) in
+  attach_host t t.left_router left ~extra_delay;
+  attach_host t t.right_router right ~extra_delay;
+  (left, right)

@@ -1,0 +1,44 @@
+(** Single-bottleneck dumbbell topology, the paper's only topology.
+
+    Host pairs hang off two routers joined by a bottleneck link (one
+    {!Link.t} per direction).  Edge links are fast enough never to queue.
+    Default dimensioning follows the paper: queue capacity 2.5 x BDP, RED
+    [min_th] 0.25 x BDP and [max_th] 1.25 x BDP, round-trip time 50 ms. *)
+
+type queue_kind =
+  | Red  (** RED, paper dimensioning *)
+  | Red_ecn  (** RED that marks instead of dropping *)
+  | Droptail  (** FIFO with capacity 2.5 x BDP *)
+  | Custom of (unit -> Queue_intf.t)
+
+type config = {
+  bandwidth : float;  (** bottleneck, bits/s *)
+  rtt : float;  (** base two-way propagation RTT, seconds *)
+  pkt_size : int;  (** nominal packet size for dimensioning, bytes *)
+  queue : queue_kind;
+}
+
+(** 50 ms RTT, 1000-byte packets, RED queue. *)
+val default_config : bandwidth:float -> config
+
+(** Bandwidth-delay product in packets for this config. *)
+val bdp_packets : config -> float
+
+type t
+
+val create : sim:Engine.Sim.t -> rng:Engine.Rng.t -> config -> t
+val sim : t -> Engine.Sim.t
+val config : t -> config
+
+(** Left-to-right bottleneck (the congested direction in all scenarios). *)
+val bottleneck : t -> Link.t
+
+val bottleneck_rev : t -> Link.t
+
+(** Create a new host on each side, fully routed.  Data can flow either
+    way between them.  [extra_delay] adds one-way propagation on each edge
+    link, raising this pair's RTT by [4 x extra_delay] over the base. *)
+val add_host_pair : ?extra_delay:float -> t -> Node.t * Node.t
+
+(** Fresh flow identifier, unique within this dumbbell. *)
+val fresh_flow : t -> int

@@ -1,0 +1,69 @@
+type t = {
+  sim : Engine.Sim.t;
+  bandwidth : float;
+  delay : float;
+  queue : Queue_intf.t;
+  mutable busy : bool;
+  mutable deliver : Packet.t -> unit;
+  mutable arrivals : int;
+  mutable drops : int;
+  mutable departures : int;
+  mutable bytes_out : float;
+  mutable drop_hooks : (Packet.t -> unit) list;
+  mutable departure_hooks : (Packet.t -> unit) list;
+}
+
+let make ~sim ~bandwidth ~delay ~queue =
+  if bandwidth <= 0. then invalid_arg "Link.make: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Link.make: negative delay";
+  {
+    sim;
+    bandwidth;
+    delay;
+    queue;
+    busy = false;
+    deliver = (fun _ -> ());
+    arrivals = 0;
+    drops = 0;
+    departures = 0;
+    bytes_out = 0.;
+    drop_hooks = [];
+    departure_hooks = [];
+  }
+
+let connect t deliver = t.deliver <- deliver
+let bandwidth t = t.bandwidth
+let delay t = t.delay
+let queue t = t.queue
+let tx_time t ~bytes = float_of_int (bytes * 8) /. t.bandwidth
+
+let rec transmit_next t =
+  match t.queue.Queue_intf.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    let tx = tx_time t ~bytes:pkt.Packet.size in
+    Engine.Sim.after t.sim tx (fun () ->
+        t.departures <- t.departures + 1;
+        t.bytes_out <- t.bytes_out +. float_of_int pkt.Packet.size;
+        List.iter (fun hook -> hook pkt) t.departure_hooks;
+        let deliver () = t.deliver pkt in
+        if t.delay > 0. then Engine.Sim.after t.sim t.delay deliver
+        else deliver ();
+        transmit_next t)
+
+let send t pkt =
+  t.arrivals <- t.arrivals + 1;
+  match t.queue.Queue_intf.enqueue pkt with
+  | Queue_intf.Dropped ->
+    t.drops <- t.drops + 1;
+    List.iter (fun hook -> hook pkt) t.drop_hooks
+  | Queue_intf.Enqueued | Queue_intf.Marked ->
+    if not t.busy then transmit_next t
+
+let arrivals t = t.arrivals
+let drops t = t.drops
+let departures t = t.departures
+let bytes_out t = t.bytes_out
+let on_drop t hook = t.drop_hooks <- hook :: t.drop_hooks
+let on_departure t hook = t.departure_hooks <- hook :: t.departure_hooks

@@ -1,0 +1,40 @@
+(** Unidirectional link: a queue feeding a transmitter with finite
+    bandwidth, followed by fixed propagation delay.
+
+    Transmission and propagation are pipelined: the transmitter starts the
+    next packet as soon as the previous one is on the wire. *)
+
+type t
+
+val make :
+  sim:Engine.Sim.t ->
+  bandwidth:float (** bits/s *) ->
+  delay:float (** propagation, seconds *) ->
+  queue:Queue_intf.t ->
+  t
+
+(** Set the receiver of packets at the far end (usually [Node.receive]). *)
+val connect : t -> (Packet.t -> unit) -> unit
+
+(** Offer a packet to the link's queue; may drop. *)
+val send : t -> Packet.t -> unit
+
+val bandwidth : t -> float
+val delay : t -> float
+val queue : t -> Queue_intf.t
+
+(** Serialization time of a packet of [bytes] bytes. *)
+val tx_time : t -> bytes:int -> float
+
+(** Cumulative counters since creation. *)
+val arrivals : t -> int
+
+val drops : t -> int
+val departures : t -> int
+val bytes_out : t -> float
+
+(** Hook invoked for every dropped packet (monitoring / tests). *)
+val on_drop : t -> (Packet.t -> unit) -> unit
+
+(** Hook invoked when a packet finishes serialization onto the wire. *)
+val on_departure : t -> (Packet.t -> unit) -> unit

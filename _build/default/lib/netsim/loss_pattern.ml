@@ -1,0 +1,86 @@
+let wrap ~name ~should_drop (inner : Queue_intf.t) =
+  let enqueue pkt =
+    if should_drop pkt then Queue_intf.Dropped else inner.Queue_intf.enqueue pkt
+  in
+  { inner with Queue_intf.name; enqueue }
+
+let by_count ~pattern inner =
+  if pattern = [] || List.exists (fun n -> n <= 0) pattern then
+    invalid_arg "Loss_pattern.by_count: pattern must be positive counts";
+  let arr = Array.of_list pattern in
+  let idx = ref 0 in
+  let remaining = ref arr.(0) in
+  let should_drop (pkt : Packet.t) =
+    (* Only data packets participate in the designed pattern; acks of the
+       reverse flow share the link unharmed. *)
+    if Packet.is_ack pkt then false
+    else begin
+      decr remaining;
+      if !remaining = 0 then begin
+        idx := (!idx + 1) mod Array.length arr;
+        remaining := arr.(!idx);
+        true
+      end
+      else false
+    end
+  in
+  wrap ~name:"loss_pattern_count" ~should_drop inner
+
+let by_phase ~sim ~phases inner =
+  if phases = [] || List.exists (fun (d, _) -> d <= 0.) phases then
+    invalid_arg "Loss_pattern.by_phase: durations must be positive";
+  let arr = Array.of_list phases in
+  let idx = ref 0 in
+  let phase_end = ref (fst arr.(0)) in
+  let since_drop = ref 0 in
+  let should_drop (pkt : Packet.t) =
+    if Packet.is_ack pkt then false
+    else begin
+      let now = Engine.Sim.now sim in
+      while now >= !phase_end do
+        idx := (!idx + 1) mod Array.length arr;
+        phase_end := !phase_end +. fst arr.(!idx);
+        since_drop := 0
+      done;
+      let every = snd arr.(!idx) in
+      if every <= 0 then false
+      else begin
+        incr since_drop;
+        if !since_drop >= every then begin
+          since_drop := 0;
+          true
+        end
+        else false
+      end
+    end
+  in
+  wrap ~name:"loss_pattern_phase" ~should_drop inner
+
+let bernoulli ~rng ~p inner =
+  if p < 0. || p >= 1. then
+    invalid_arg "Loss_pattern.bernoulli: p in [0, 1)";
+  let should_drop (pkt : Packet.t) =
+    (not (Packet.is_ack pkt)) && Engine.Rng.bernoulli rng ~p
+  in
+  wrap ~name:"loss_pattern_bernoulli" ~should_drop inner
+
+let one_per_interval ~sim ~interval ~start inner =
+  if interval <= 0. then
+    invalid_arg "Loss_pattern.one_per_interval: interval must be positive";
+  let last_drop_window = ref (-1) in
+  let should_drop (pkt : Packet.t) =
+    if Packet.is_ack pkt then false
+    else begin
+      let now = Engine.Sim.now sim in
+      if now < start then false
+      else begin
+        let window = int_of_float ((now -. start) /. interval) in
+        if window > !last_drop_window then begin
+          last_drop_window := window;
+          true
+        end
+        else false
+      end
+    end
+  in
+  wrap ~name:"loss_pattern_one_per_interval" ~should_drop inner

@@ -1,0 +1,37 @@
+(** Deterministic drop patterns layered over an inner queue.
+
+    Used for the paper's designed bursty-loss experiments (Figures 17–19),
+    where losses are a fixed function of arrival counts or wall-clock
+    phases rather than queue dynamics. *)
+
+(** [by_count ~pattern inner]: cycling through [pattern], let [n - 1]
+    packets pass and drop the [n]-th, for each [n] in the list.  Example
+    from Figure 17: [pattern = [50; 50; 50; 400; 400; 400]] is three losses
+    each after 50 arrivals, then three each after 400 arrivals, repeating. *)
+val by_count : pattern:int list -> Queue_intf.t -> Queue_intf.t
+
+(** [by_phase ~sim ~phases inner]: [phases] is a cycling list of
+    [(duration, drop_every_n)]; during each phase every [n]-th arrival is
+    dropped.  [drop_every_n = 0] means no drops in that phase.  Example from
+    Figure 18: [[ (6.0, 200); (1.0, 4) ]]. *)
+val by_phase :
+  sim:Engine.Sim.t ->
+  phases:(float * int) list ->
+  Queue_intf.t ->
+  Queue_intf.t
+
+(** [bernoulli ~rng ~p inner] drops each data packet independently with
+    probability [p] — the random-loss environment assumed by the analytic
+    response functions. *)
+val bernoulli : rng:Engine.Rng.t -> p:float -> Queue_intf.t -> Queue_intf.t
+
+(** [one_per_interval ~sim ~interval ~start inner] drops the first data
+    packet arriving in each window [\[start + k interval, start + (k+1)
+    interval)] — the paper's "persistent congestion" of one loss per RTT
+    used to define responsiveness (Section 3). *)
+val one_per_interval :
+  sim:Engine.Sim.t ->
+  interval:float ->
+  start:float ->
+  Queue_intf.t ->
+  Queue_intf.t

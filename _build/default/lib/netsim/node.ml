@@ -1,0 +1,42 @@
+type t = {
+  id : int;
+  routes : (int, Link.t) Hashtbl.t;
+  mutable default_route : Link.t option;
+  agents : (int, Packet.t -> unit) Hashtbl.t;
+  mutable discarded : int;
+}
+
+let create ~id =
+  {
+    id;
+    routes = Hashtbl.create 16;
+    default_route = None;
+    agents = Hashtbl.create 16;
+    discarded = 0;
+  }
+
+let id t = t.id
+let add_route t ~dst link = Hashtbl.replace t.routes dst link
+let set_default_route t link = t.default_route <- Some link
+let attach t ~flow handler = Hashtbl.replace t.agents flow handler
+let detach t ~flow = Hashtbl.remove t.agents flow
+
+let receive t (pkt : Packet.t) =
+  if pkt.Packet.dst = t.id then begin
+    match Hashtbl.find_opt t.agents pkt.Packet.flow with
+    | Some handler -> handler pkt
+    | None -> t.discarded <- t.discarded + 1
+  end
+  else begin
+    let link =
+      match Hashtbl.find_opt t.routes pkt.Packet.dst with
+      | Some _ as l -> l
+      | None -> t.default_route
+    in
+    match link with
+    | Some l -> Link.send l pkt
+    | None -> t.discarded <- t.discarded + 1
+  end
+
+let inject = receive
+let discarded t = t.discarded

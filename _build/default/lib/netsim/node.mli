@@ -1,0 +1,29 @@
+(** Network node: routes packets by destination and dispatches packets
+    addressed to itself to per-flow agent handlers. *)
+
+type t
+
+val create : id:int -> t
+val id : t -> int
+
+(** Route packets destined to node [dst] over [link]. *)
+val add_route : t -> dst:int -> Link.t -> unit
+
+(** Route for any destination without an explicit entry. *)
+val set_default_route : t -> Link.t -> unit
+
+(** Register the handler for packets of [flow] terminating here. *)
+val attach : t -> flow:int -> (Packet.t -> unit) -> unit
+
+val detach : t -> flow:int -> unit
+
+(** Deliver a packet to this node: dispatch locally if [pkt.dst] is this
+    node, otherwise forward along the route.  Packets for unknown flows or
+    destinations are silently discarded (counted). *)
+val receive : t -> Packet.t -> unit
+
+(** Entry point for locally generated packets (agents call this). *)
+val inject : t -> Packet.t -> unit
+
+(** Packets discarded for lack of a route or local handler. *)
+val discarded : t -> int

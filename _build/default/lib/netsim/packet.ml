@@ -1,0 +1,49 @@
+type tfrc_feedback = {
+  loss_event_rate : float;
+  recv_rate : float;
+  timestamp_echo : float;
+  delay_echo : float;
+  new_loss : bool;
+}
+
+type payload =
+  | Plain
+  | Ack of { cum_seq : int; sack : (int * int) list }
+  | Rap_ack of { cum_seq : int; recv_rate : float }
+  | Tfrc_data of { timestamp : float; rtt_estimate : float }
+  | Tfrc_fb of tfrc_feedback
+  | Tear_fb of {
+      rate_pps : float;
+      timestamp_echo : float;
+      delay_echo : float;
+    }
+
+type t = {
+  uid : int;
+  flow : int;
+  src : int;
+  dst : int;
+  size : int;
+  seq : int;
+  sent_at : float;
+  payload : payload;
+  mutable ecn : bool;
+}
+
+let uid_counter = ref 0
+
+let make ?(size = 1000) ?(seq = 0) ?(payload = Plain) ~flow ~src ~dst ~sent_at
+    () =
+  incr uid_counter;
+  { uid = !uid_counter; flow; src; dst; size; seq; sent_at; payload; ecn = false }
+
+let is_ack t =
+  match t.payload with
+  | Ack _ | Rap_ack _ | Tfrc_fb _ | Tear_fb _ -> true
+  | Plain | Tfrc_data _ -> false
+
+let pp fmt t =
+  Format.fprintf fmt "pkt#%d flow=%d %d->%d seq=%d size=%d" t.uid t.flow t.src
+    t.dst t.seq t.size
+
+let reset_uids () = uid_counter := 0

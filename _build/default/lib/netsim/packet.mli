@@ -1,0 +1,59 @@
+(** Simulated packets.
+
+    Packets are immutable apart from ECN marking; transport-specific control
+    information rides in [payload]. *)
+
+type tfrc_feedback = {
+  loss_event_rate : float;  (** receiver's current loss-event rate estimate *)
+  recv_rate : float;  (** bytes/s received over the last RTT *)
+  timestamp_echo : float;  (** sender timestamp being echoed, for RTT *)
+  delay_echo : float;  (** receiver-side hold time to subtract *)
+  new_loss : bool;  (** a new loss event occurred since the last feedback *)
+}
+
+type payload =
+  | Plain
+  | Ack of {
+      cum_seq : int;  (** cumulative: all seq < cum_seq received *)
+      sack : (int * int) list;
+          (** selective-ack blocks [lo, hi), newest first, at most 3 *)
+    }
+  | Rap_ack of { cum_seq : int; recv_rate : float }
+  | Tfrc_data of { timestamp : float; rtt_estimate : float }
+  | Tfrc_fb of tfrc_feedback
+  | Tear_fb of {
+      rate_pps : float;  (** receiver-computed TCP-fair rate *)
+      timestamp_echo : float;
+      delay_echo : float;
+    }
+
+type t = {
+  uid : int;  (** globally unique *)
+  flow : int;  (** flow identifier; sinks dispatch on this *)
+  src : int;  (** source node id *)
+  dst : int;  (** destination node id *)
+  size : int;  (** bytes on the wire *)
+  seq : int;  (** data sequence number, in packets *)
+  sent_at : float;  (** transport send time (for RTT sampling) *)
+  payload : payload;
+  mutable ecn : bool;  (** congestion-experienced mark *)
+}
+
+(** [make ()] allocates a fresh uid.  Defaults: [size = 1000] bytes,
+    [payload = Plain], [seq = 0]. *)
+val make :
+  ?size:int ->
+  ?seq:int ->
+  ?payload:payload ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  sent_at:float ->
+  unit ->
+  t
+
+val is_ack : t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Reset the uid counter (tests only). *)
+val reset_uids : unit -> unit

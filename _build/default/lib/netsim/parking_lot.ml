@@ -1,0 +1,106 @@
+type config = {
+  hops : int;
+  bandwidth : float;
+  hop_rtt : float;
+  pkt_size : int;
+  queue : Dumbbell.queue_kind;
+}
+
+let default_config ~hops ~bandwidth =
+  { hops; bandwidth; hop_rtt = 0.02; pkt_size = 1000; queue = Dumbbell.Red }
+
+type t = {
+  sim : Engine.Sim.t;
+  config : config;
+  routers : Node.t array;  (* hops + 1 routers *)
+  forward : Link.t array;  (* forward.(i): routers.(i) -> routers.(i+1) *)
+  backward : Link.t array;  (* backward.(i): routers.(i+1) -> routers.(i) *)
+  mutable next_node_id : int;
+  mutable next_flow_id : int;
+}
+
+let make_queue ~sim ~rng c =
+  (* Dimension each hop like the dumbbell: the BDP of one hop's RTT. *)
+  let bdp =
+    Float.max 4. (c.bandwidth *. c.hop_rtt /. (8. *. float_of_int c.pkt_size))
+  in
+  let capacity = int_of_float (Float.max 8. (2.5 *. bdp)) in
+  match c.queue with
+  | Dumbbell.Droptail -> Droptail.make ~capacity
+  | Dumbbell.Custom f -> f ()
+  | Dumbbell.Red | Dumbbell.Red_ecn ->
+    Red.make ~sim ~rng:(Engine.Rng.split rng)
+      {
+        Red.default_params with
+        Red.min_th = 0.25 *. bdp;
+        max_th = 1.25 *. bdp;
+        capacity;
+        ecn = (c.queue = Dumbbell.Red_ecn);
+        mean_pkt_tx_time = float_of_int (c.pkt_size * 8) /. c.bandwidth;
+      }
+
+let create ~sim ~rng config =
+  if config.hops < 1 then invalid_arg "Parking_lot.create: hops >= 1";
+  if config.bandwidth <= 0. then invalid_arg "Parking_lot.create: bandwidth";
+  let n = config.hops + 1 in
+  let routers = Array.init n (fun i -> Node.create ~id:i) in
+  let prop = config.hop_rtt /. 2. in
+  let mk_link () =
+    Link.make ~sim ~bandwidth:config.bandwidth ~delay:prop
+      ~queue:(make_queue ~sim ~rng config)
+  in
+  let forward = Array.init config.hops (fun _ -> mk_link ()) in
+  let backward = Array.init config.hops (fun _ -> mk_link ()) in
+  for i = 0 to config.hops - 1 do
+    Link.connect forward.(i) (Node.receive routers.(i + 1));
+    Link.connect backward.(i) (Node.receive routers.(i))
+  done;
+  {
+    sim;
+    config;
+    routers;
+    forward;
+    backward;
+    next_node_id = n;
+    next_flow_id = 0;
+  }
+
+let sim t = t.sim
+let hops t = t.config.hops
+
+let bottleneck t i =
+  if i < 0 || i >= t.config.hops then invalid_arg "Parking_lot.bottleneck";
+  t.forward.(i)
+
+let fresh_flow t =
+  let id = t.next_flow_id in
+  t.next_flow_id <- id + 1;
+  id
+
+let add_host t ~site =
+  if site < 0 || site > t.config.hops then
+    invalid_arg "Parking_lot.add_host: site out of range";
+  let host = Node.create ~id:t.next_node_id in
+  t.next_node_id <- t.next_node_id + 1;
+  let edge_bw = Float.max 1e8 (100. *. t.config.bandwidth) in
+  let edge_delay = t.config.hop_rtt /. 20. in
+  let up =
+    Link.make ~sim:t.sim ~bandwidth:edge_bw ~delay:edge_delay
+      ~queue:(Droptail.make ~capacity:100000)
+  in
+  let down =
+    Link.make ~sim:t.sim ~bandwidth:edge_bw ~delay:edge_delay
+      ~queue:(Droptail.make ~capacity:100000)
+  in
+  Link.connect up (Node.receive t.routers.(site));
+  Link.connect down (Node.receive host);
+  Node.set_default_route host up;
+  (* Every router learns the direction of this host along the chain. *)
+  Array.iteri
+    (fun i router ->
+      if i = site then Node.add_route router ~dst:(Node.id host) down
+      else if i < site then
+        Node.add_route router ~dst:(Node.id host) t.forward.(i)
+      else Node.add_route router ~dst:(Node.id host) t.backward.(i - 1))
+    t.routers;
+  host

@@ -1,0 +1,37 @@
+(** Multi-bottleneck "parking lot" topology (extension beyond the paper).
+
+    A chain of [n] routers joined by bottleneck links; hosts can attach at
+    any router.  A flow from a host at router [i] to a host at router [j]
+    crosses bottlenecks [i..j-1], so long paths compete with cross traffic
+    on every hop — the classic setup for studying multi-hop fairness of
+    congestion control.
+
+    {v
+      R0 ──b0── R1 ──b1── R2 ──b2── R3
+      │         │          │         │
+     hosts     hosts      hosts    hosts
+    v} *)
+
+type config = {
+  hops : int;  (** number of bottleneck links (>= 1) *)
+  bandwidth : float;  (** per-bottleneck, bits/s *)
+  hop_rtt : float;  (** contribution of one hop to the RTT, seconds *)
+  pkt_size : int;
+  queue : Dumbbell.queue_kind;
+}
+
+val default_config : hops:int -> bandwidth:float -> config
+
+type t
+
+val create : sim:Engine.Sim.t -> rng:Engine.Rng.t -> config -> t
+val sim : t -> Engine.Sim.t
+val hops : t -> int
+
+(** The forward bottleneck link leaving router [i] (towards router i+1). *)
+val bottleneck : t -> int -> Link.t
+
+(** Attach a new host at router [site] (0-based, [<= hops]). *)
+val add_host : t -> site:int -> Node.t
+
+val fresh_flow : t -> int

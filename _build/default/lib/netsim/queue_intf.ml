@@ -1,0 +1,9 @@
+type action = Enqueued | Marked | Dropped
+
+type t = {
+  name : string;
+  enqueue : Packet.t -> action;
+  dequeue : unit -> Packet.t option;
+  pkts : unit -> int;
+  bytes : unit -> int;
+}

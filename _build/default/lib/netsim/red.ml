@@ -1,0 +1,125 @@
+type params = {
+  min_th : float;
+  max_th : float;
+  w_q : float;
+  max_p : float;
+  capacity : int;
+  gentle : bool;
+  ecn : bool;
+  mean_pkt_tx_time : float;
+}
+
+let default_params =
+  {
+    min_th = 5.;
+    max_th = 15.;
+    w_q = 0.002;
+    max_p = 0.1;
+    capacity = 60;
+    gentle = true;
+    ecn = false;
+    mean_pkt_tx_time = 0.001;
+  }
+
+type state = {
+  q : Packet.t Queue.t;
+  mutable bytes : int;
+  mutable avg : float;
+  mutable count : int;
+  mutable idle_since : float option;  (** Some t when the queue is empty *)
+}
+
+let make_with_introspection ~sim ~rng p =
+  if p.min_th <= 0. || p.max_th <= p.min_th then
+    invalid_arg "Red.make: need 0 < min_th < max_th";
+  let s =
+    {
+      q = Queue.create ();
+      bytes = 0;
+      avg = 0.;
+      count = -1;
+      idle_since = Some 0.;
+    }
+  in
+  let update_avg () =
+    match s.idle_since with
+    | Some t0 ->
+      (* Decay the average as if the queue had been draining small packets
+         during the idle period. *)
+      let m = (Engine.Sim.now sim -. t0) /. p.mean_pkt_tx_time in
+      s.avg <- s.avg *. ((1. -. p.w_q) ** m);
+      s.idle_since <- None
+    | None ->
+      s.avg <- s.avg +. (p.w_q *. (float_of_int (Queue.length s.q) -. s.avg))
+  in
+  (* Decide the fate of an arrival once the average is up to date.  Returns
+     the probabilistic verdict; the caller still enforces buffer overflow. *)
+  let early_verdict () : Queue_intf.action =
+    if s.avg < p.min_th then begin
+      s.count <- -1;
+      Queue_intf.Enqueued
+    end
+    else begin
+      let congested = Queue_intf.(if p.ecn then Marked else Dropped) in
+      let uniformized p_b =
+        s.count <- s.count + 1;
+        let denom = 1. -. (float_of_int s.count *. p_b) in
+        let p_a = if denom <= 0. then 1. else Float.min 1. (p_b /. denom) in
+        if Engine.Rng.bernoulli rng ~p:p_a then begin
+          s.count <- 0;
+          congested
+        end
+        else Queue_intf.Enqueued
+      in
+      if s.avg < p.max_th then
+        uniformized (p.max_p *. (s.avg -. p.min_th) /. (p.max_th -. p.min_th))
+      else if p.gentle && s.avg < 2. *. p.max_th then
+        uniformized
+          (p.max_p +. ((1. -. p.max_p) *. (s.avg -. p.max_th) /. p.max_th))
+      else begin
+        (* Average beyond the (gentle) ceiling: forced drop even with ECN. *)
+        s.count <- 0;
+        Queue_intf.Dropped
+      end
+    end
+  in
+  let enqueue (pkt : Packet.t) : Queue_intf.action =
+    update_avg ();
+    if Queue.length s.q >= p.capacity then begin
+      s.count <- 0;
+      Queue_intf.Dropped
+    end
+    else begin
+      match early_verdict () with
+      | Queue_intf.Dropped -> Queue_intf.Dropped
+      | Queue_intf.Marked ->
+        pkt.Packet.ecn <- true;
+        Queue.add pkt s.q;
+        s.bytes <- s.bytes + pkt.Packet.size;
+        Queue_intf.Marked
+      | Queue_intf.Enqueued ->
+        Queue.add pkt s.q;
+        s.bytes <- s.bytes + pkt.Packet.size;
+        Queue_intf.Enqueued
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt s.q with
+    | None -> None
+    | Some pkt ->
+      s.bytes <- s.bytes - pkt.Packet.size;
+      if Queue.is_empty s.q then s.idle_since <- Some (Engine.Sim.now sim);
+      Some pkt
+  in
+  let queue =
+    {
+      Queue_intf.name = "red";
+      enqueue;
+      dequeue;
+      pkts = (fun () -> Queue.length s.q);
+      bytes = (fun () -> s.bytes);
+    }
+  in
+  (queue, fun () -> s.avg)
+
+let make ~sim ~rng p = fst (make_with_introspection ~sim ~rng p)

@@ -1,0 +1,28 @@
+(** Random Early Detection queue (Floyd & Jacobson 1993), with the ns-2
+    "gentle" extension and optional ECN marking.
+
+    The average queue size is an EWMA over instantaneous length sampled at
+    each arrival; during idle periods the average decays as if small packets
+    had been arriving back-to-back. *)
+
+type params = {
+  min_th : float;  (** packets *)
+  max_th : float;  (** packets *)
+  w_q : float;  (** EWMA weight, ns-2 default 0.002 *)
+  max_p : float;  (** marking probability at [max_th], ns-2 default 0.1 *)
+  capacity : int;  (** physical buffer limit in packets *)
+  gentle : bool;  (** linear ramp from [max_p] to 1 between max_th, 2max_th *)
+  ecn : bool;  (** mark instead of dropping for probabilistic congestion *)
+  mean_pkt_tx_time : float;  (** seconds to transmit a typical packet *)
+}
+
+val default_params : params
+
+val make : sim:Engine.Sim.t -> rng:Engine.Rng.t -> params -> Queue_intf.t
+
+(** Current average queue estimate, for instrumentation/tests. *)
+val make_with_introspection :
+  sim:Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  params ->
+  Queue_intf.t * (unit -> float)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Float List Printf QCheck2 QCheck_alcotest

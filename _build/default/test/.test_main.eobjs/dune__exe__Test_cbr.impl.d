@@ -1,0 +1,1 @@
+test/test_cbr.ml: Alcotest Cc Engine Float Netsim Printf

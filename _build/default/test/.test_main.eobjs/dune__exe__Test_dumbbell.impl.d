@@ -1,0 +1,1 @@
+test/test_dumbbell.ml: Alcotest Engine Netsim

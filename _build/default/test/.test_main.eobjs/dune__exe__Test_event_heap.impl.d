@@ -1,0 +1,1 @@
+test/test_event_heap.ml: Alcotest Engine Float List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_flash_crowd.ml: Alcotest Cc Engine Netsim Printf

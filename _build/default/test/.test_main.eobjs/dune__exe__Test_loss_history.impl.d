@@ -1,0 +1,1 @@
+test/test_loss_history.ml: Alcotest Cc List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_loss_pattern.ml: Alcotest Engine List Netsim

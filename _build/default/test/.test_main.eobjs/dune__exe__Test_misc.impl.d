@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Cc Engine Float List Netsim Printf Slowcc

@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Format Netsim String

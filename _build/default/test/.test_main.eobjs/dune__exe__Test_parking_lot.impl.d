@@ -1,0 +1,1 @@
+test/test_parking_lot.ml: Alcotest Cc Engine List Netsim Printf

@@ -1,0 +1,1 @@
+test/test_properties.ml: Cc Engine List Netsim QCheck2 QCheck_alcotest Slowcc

@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Engine List Netsim QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rap.ml: Alcotest Cc Engine Netsim Printf

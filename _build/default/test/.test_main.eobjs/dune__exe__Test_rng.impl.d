@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Engine Float List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sack.ml: Alcotest Analysis Cc Engine Fun List Netsim Printf

@@ -1,0 +1,1 @@
+test/test_sink.ml: Alcotest Cc Engine List Netsim

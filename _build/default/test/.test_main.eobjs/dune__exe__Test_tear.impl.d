@@ -1,0 +1,1 @@
+test/test_tear.ml: Alcotest Cc Engine Float Netsim Printf Slowcc

@@ -1,0 +1,1 @@
+test/test_tfrc.ml: Alcotest Cc Engine Fun Netsim Printf

@@ -1,0 +1,1 @@
+test/test_tfrc_eq.ml: Alcotest Cc Float List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tfrc_extra.ml: Alcotest Cc Engine Float Fun List Netsim Printf Slowcc

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Buffer Engine Format List Netsim String

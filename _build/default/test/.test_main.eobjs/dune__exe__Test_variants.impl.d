@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Cc Engine Float Fun List Netsim Printf

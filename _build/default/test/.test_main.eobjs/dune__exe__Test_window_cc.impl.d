@@ -1,0 +1,1 @@
+test/test_window_cc.ml: Alcotest Analysis Cc Engine Fun Netsim Printf QCheck2 QCheck_alcotest

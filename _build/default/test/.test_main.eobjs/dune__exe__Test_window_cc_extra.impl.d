@@ -1,0 +1,1 @@
+test/test_window_cc_extra.ml: Alcotest Cc Engine Float Fun Netsim Printf

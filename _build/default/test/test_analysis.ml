@@ -1,0 +1,141 @@
+(* Analytical models: response functions, convergence, f(k), calibration. *)
+
+let test_pure_aimd_tcp () =
+  (* sqrt(1.5/p) at p = 0.01 is 12.247. *)
+  Alcotest.(check (float 1e-3)) "pure aimd" 12.247
+    (Analysis.Response_function.pure_aimd ~p:0.01 ())
+
+let test_aimd_with_timeouts_half () =
+  (* Paper: p = 1/2 -> 2 packets every 3 RTTs. *)
+  Alcotest.(check (float 1e-9)) "p=1/2" (2. /. 3.)
+    (Analysis.Response_function.aimd_with_timeouts ~p:0.5)
+
+let test_aimd_with_timeouts_three_quarters () =
+  (* p = 3/4 -> n = 3: 4 packets every 15 RTTs. *)
+  Alcotest.(check (float 1e-9)) "p=3/4" (4. /. 15.)
+    (Analysis.Response_function.aimd_with_timeouts ~p:0.75)
+
+let test_reno_below_pure_aimd () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "reno is the lower bound" true
+        (Analysis.Response_function.reno_padhye ~p ()
+        < Analysis.Response_function.pure_aimd ~p ()))
+    [ 0.01; 0.05; 0.1; 0.3 ]
+
+let test_bounds_ordering_high_loss () =
+  (* At high loss, AIMD-with-timeouts upper-bounds Reno. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "upper bound" true
+        (Analysis.Response_function.aimd_with_timeouts ~p
+        > Analysis.Response_function.reno_padhye ~p ()))
+    [ 0.5; 0.6; 0.7; 0.8 ]
+
+let test_compatible_a_of_b () =
+  Alcotest.(check (float 1e-9)) "b=1/2" 1.
+    (Analysis.Response_function.compatible_a_of_b 0.5);
+  Alcotest.(check bool) "slower is gentler" true
+    (Analysis.Response_function.compatible_a_of_b 0.125 < 1.)
+
+let test_acks_to_fairness_formula () =
+  let b = 0.5 and p = 0.1 and delta = 0.1 in
+  let expected = log delta /. log (1. -. (b *. p)) in
+  Alcotest.(check (float 1e-9)) "formula" expected
+    (Analysis.Aimd_convergence.acks_to_fairness ~b ~p ~delta)
+
+let test_acks_monotone_in_b () =
+  let acks b = Analysis.Aimd_convergence.acks_to_fairness ~b ~p:0.1 ~delta:0.1 in
+  Alcotest.(check bool) "smaller b converges slower" true
+    (acks 0.01 > acks 0.1 && acks 0.1 > acks 0.5)
+
+let test_recurrence_converges () =
+  match
+    Analysis.Aimd_convergence.simulate_recurrence ~a:1. ~b:0.5 ~p:0.1
+      ~delta:0.1 ~x1:100. ~x2:1. ~max_acks:100000
+  with
+  | Some n ->
+    let formula =
+      Analysis.Aimd_convergence.acks_to_fairness ~b:0.5 ~p:0.1 ~delta:0.1
+    in
+    (* The recurrence includes window dynamics, so only the order of
+       magnitude must agree. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "recurrence %d vs formula %.0f" n formula)
+      true
+      (float_of_int n > formula /. 10. && float_of_int n < formula *. 10.)
+  | None -> Alcotest.fail "did not converge"
+
+let test_recurrence_slow_b_slower () =
+  let run b =
+    Analysis.Aimd_convergence.simulate_recurrence ~a:1. ~b ~p:0.1 ~delta:0.1
+      ~x1:100. ~x2:1. ~max_acks:10000000
+  in
+  match (run 0.5, run 0.05) with
+  | Some fast, Some slow -> Alcotest.(check bool) "ordering" true (slow > fast)
+  | _ -> Alcotest.fail "convergence expected"
+
+let test_fk_model () =
+  (* f(k) = 1/2 + k a/(4 R lambda), capped by the ramp end. *)
+  let f = Analysis.Fk_model.f_k ~a:1. ~k:20 ~rtt:0.05 ~lambda:1000. in
+  Alcotest.(check (float 1e-9)) "ramp regime" (0.5 +. (20. /. 200.)) f;
+  let f_long = Analysis.Fk_model.f_k ~a:1. ~k:100000 ~rtt:0.05 ~lambda:1000. in
+  Alcotest.(check bool) "approaches 1" true (f_long > 0.97 && f_long <= 1.)
+
+let test_fk_monotone_in_a () =
+  let f a = Analysis.Fk_model.f_k ~a ~k:50 ~rtt:0.05 ~lambda:500. in
+  Alcotest.(check bool) "faster increase fills faster" true (f 2. > f 0.1)
+
+let test_calibration_matches_tcp () =
+  let a, b = Analysis.Binomial_calibration.sqrt_params ~gamma:2. () in
+  let w = Analysis.Binomial_calibration.average_window ~k:0.5 ~l:0.5 ~a ~b ~p:0.01 in
+  Alcotest.(check bool) "matches tcp window at p_ref" true
+    (Float.abs (w -. sqrt 150.) /. sqrt 150. < 0.02)
+
+let test_calibration_slower_gamma_smaller_a () =
+  let a2, _ = Analysis.Binomial_calibration.sqrt_params ~gamma:2. () in
+  let a64, _ = Analysis.Binomial_calibration.sqrt_params ~gamma:64. () in
+  Alcotest.(check bool) "slower decrease needs gentler increase" true
+    (a64 < a2)
+
+let test_iiad_params () =
+  let a, b = Analysis.Binomial_calibration.iiad_params ~gamma:2. () in
+  let w = Analysis.Binomial_calibration.average_window ~k:1. ~l:0. ~a ~b ~p:0.01 in
+  Alcotest.(check bool) "iiad calibrated" true
+    (Float.abs (w -. sqrt 150.) /. sqrt 150. < 0.02)
+
+let prop_average_window_monotone_in_p =
+  QCheck2.Test.make ~name:"binomial average window decreases with p" ~count:20
+    QCheck2.Gen.(pair (float_range 0.002 0.02) (float_range 1.5 4.))
+    (fun (p, ratio) ->
+      let a, b = Analysis.Binomial_calibration.sqrt_params ~gamma:2. () in
+      let w1 = Analysis.Binomial_calibration.average_window ~k:0.5 ~l:0.5 ~a ~b ~p in
+      let w2 =
+        Analysis.Binomial_calibration.average_window ~k:0.5 ~l:0.5 ~a ~b
+          ~p:(Float.min 0.9 (p *. ratio))
+      in
+      w2 <= w1 +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "pure aimd closed form" `Quick test_pure_aimd_tcp;
+    Alcotest.test_case "timeouts model p=1/2" `Quick test_aimd_with_timeouts_half;
+    Alcotest.test_case "timeouts model p=3/4" `Quick
+      test_aimd_with_timeouts_three_quarters;
+    Alcotest.test_case "reno below pure aimd" `Quick test_reno_below_pure_aimd;
+    Alcotest.test_case "bounds ordering at high loss" `Quick
+      test_bounds_ordering_high_loss;
+    Alcotest.test_case "compatible a(b)" `Quick test_compatible_a_of_b;
+    Alcotest.test_case "acks formula" `Quick test_acks_to_fairness_formula;
+    Alcotest.test_case "acks monotone in b" `Quick test_acks_monotone_in_b;
+    Alcotest.test_case "recurrence converges" `Quick test_recurrence_converges;
+    Alcotest.test_case "recurrence slower for small b" `Quick
+      test_recurrence_slow_b_slower;
+    Alcotest.test_case "fk model" `Quick test_fk_model;
+    Alcotest.test_case "fk monotone in a" `Quick test_fk_monotone_in_a;
+    Alcotest.test_case "sqrt calibration" `Quick test_calibration_matches_tcp;
+    Alcotest.test_case "calibration ordering" `Quick
+      test_calibration_slower_gamma_smaller_a;
+    Alcotest.test_case "iiad calibration" `Quick test_iiad_params;
+    QCheck_alcotest.to_alcotest prop_average_window_monotone_in_p;
+  ]

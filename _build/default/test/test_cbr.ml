@@ -1,0 +1,83 @@
+(* CBR source: rate accuracy, on/off, rate changes. *)
+
+let fixture ?(rate = 1e6) () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:1 in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng (Netsim.Dumbbell.default_config ~bandwidth:10e6)
+  in
+  let src, dst = Netsim.Dumbbell.add_host_pair db in
+  let flow_id = Netsim.Dumbbell.fresh_flow db in
+  let cbr = Cc.Cbr.create ~sim ~src ~dst ~flow:flow_id ~rate ~pkt_size:1000 in
+  (sim, cbr)
+
+let test_rate_accuracy () =
+  let sim, cbr = fixture ~rate:1e6 () in
+  let flow = Cc.Cbr.flow cbr in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:10. sim;
+  let mbps = flow.Cc.Flow.bytes_sent () *. 8. /. 10. /. 1e6 in
+  Alcotest.(check bool) "1 Mbps" true (Float.abs (mbps -. 1.) < 0.02)
+
+let test_delivery () =
+  let sim, cbr = fixture () in
+  let flow = Cc.Cbr.flow cbr in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:5. sim;
+  let sent = flow.Cc.Flow.bytes_sent () in
+  let delivered = flow.Cc.Flow.bytes_delivered () in
+  (* Uncongested path: everything but the in-flight tail arrives. *)
+  Alcotest.(check bool) "delivered" true (delivered > 0.95 *. sent)
+
+let test_on_off () =
+  let sim, cbr = fixture () in
+  let flow = Cc.Cbr.flow cbr in
+  flow.Cc.Flow.start ();
+  Engine.Sim.at sim 2. flow.Cc.Flow.stop;
+  Engine.Sim.run ~until:4. sim;
+  let at_stop = flow.Cc.Flow.pkts_sent () in
+  Engine.Sim.at sim 4. flow.Cc.Flow.start;
+  Engine.Sim.run ~until:6. sim;
+  Alcotest.(check bool) "resumed" true (flow.Cc.Flow.pkts_sent () > at_stop);
+  Alcotest.(check bool) "was silent while off" true
+    (at_stop <= int_of_float (2. /. 0.008) + 1)
+
+let test_set_rate () =
+  let sim, cbr = fixture ~rate:1e6 () in
+  let flow = Cc.Cbr.flow cbr in
+  flow.Cc.Flow.start ();
+  Engine.Sim.at sim 5. (fun () -> Cc.Cbr.set_rate cbr 2e6);
+  Engine.Sim.run ~until:10. sim;
+  let mbps = flow.Cc.Flow.bytes_sent () *. 8. /. 10. /. 1e6 in
+  (* 5 s at 1 Mbps + 5 s at 2 Mbps = 1.5 Mbps average. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "avg %.2f" mbps)
+    true
+    (Float.abs (mbps -. 1.5) < 0.05)
+
+let test_double_start_harmless () =
+  let sim, cbr = fixture () in
+  let flow = Cc.Cbr.flow cbr in
+  flow.Cc.Flow.start ();
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:1. sim;
+  let expected = int_of_float (1. /. 0.008) in
+  Alcotest.(check bool) "not doubled" true
+    (flow.Cc.Flow.pkts_sent () <= expected + 2)
+
+let test_validation () =
+  let sim = Engine.Sim.create () in
+  let node = Netsim.Node.create ~id:0 in
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Cbr.create: rate must be positive") (fun () ->
+      ignore (Cc.Cbr.create ~sim ~src:node ~dst:node ~flow:0 ~rate:0. ~pkt_size:1000))
+
+let suite =
+  [
+    Alcotest.test_case "rate accuracy" `Quick test_rate_accuracy;
+    Alcotest.test_case "delivery" `Quick test_delivery;
+    Alcotest.test_case "on/off" `Quick test_on_off;
+    Alcotest.test_case "set_rate" `Quick test_set_rate;
+    Alcotest.test_case "double start harmless" `Quick test_double_start_harmless;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

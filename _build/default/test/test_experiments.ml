@@ -1,0 +1,87 @@
+(* Experiment runners: analytic figures exactly, table plumbing, naming. *)
+
+let test_fig11_values () =
+  let t = Slowcc.Experiments.fig11 () in
+  Alcotest.(check int) "rows" 8 (List.length t.Slowcc.Table.rows);
+  (* First row: b = 1/2, acks = log(0.1)/log(0.95) = 44.89 -> "45". *)
+  match t.Slowcc.Table.rows with
+  | (gamma :: acks :: _) :: _ ->
+    Alcotest.(check string) "gamma" "2" gamma;
+    Alcotest.(check string) "acks" "45" acks
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fig20_values () =
+  let t = Slowcc.Experiments.fig20 () in
+  (* Row for p = 0.5 must show the Appendix A value 2/3 = 0.6667. *)
+  let row =
+    List.find (fun row -> List.hd row = "0.5000") t.Slowcc.Table.rows
+  in
+  match row with
+  | [ _; _reno; _pure; timeouts ] ->
+    Alcotest.(check string) "2/3 pkt/rtt" "0.6667" timeouts
+  | _ -> Alcotest.fail "unexpected row shape"
+
+let test_table_print_no_crash () =
+  let t =
+    Slowcc.Table.make ~id:"t" ~title:"test" ~columns:[ "a"; "b" ]
+      ~notes:[ "n" ]
+      [ [ "1"; "2" ]; [ "3" ] (* ragged on purpose *) ]
+  in
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Slowcc.Table.print fmt t;
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "printed something" true (Buffer.length buf > 0)
+
+let test_fnum () =
+  Alcotest.(check string) "integer" "42" (Slowcc.Table.fnum 42.);
+  Alcotest.(check string) "small" "0.1235" (Slowcc.Table.fnum 0.12345);
+  Alcotest.(check string) "mid" "3.14" (Slowcc.Table.fnum 3.14159);
+  Alcotest.(check string) "pct" "12.30%" (Slowcc.Table.fpct 0.123)
+
+let test_to_csv () =
+  let t =
+    Slowcc.Table.make ~id:"x" ~title:"t" ~columns:[ "a"; "b" ]
+      ~notes:[ "hello" ]
+      [ [ "1"; "2,3" ]; [ "q\"uote"; "4" ] ]
+  in
+  let csv = Slowcc.Table.to_csv t in
+  Alcotest.(check string) "csv"
+    "a,b\n1,\"2,3\"\n\"q\"\"uote\",4\n# hello\n" csv
+
+let test_save_csv () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "slowcc_csv_test" in
+  let t = Slowcc.Table.make ~id:"unit" ~title:"t" ~columns:[ "a" ] [ [ "1" ] ] in
+  let path = Slowcc.Table.save_csv ~dir t in
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header" "a" first
+
+let test_run_by_name_unknown () =
+  Alcotest.(check bool) "unknown name" true
+    (Slowcc.Experiments.run_by_name "nope" = None)
+
+let test_names_resolvable_analytic () =
+  (* Every name is in the dispatch table; only run the analytic ones. *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true
+        (List.mem name Slowcc.Experiments.names))
+    [ "fig11"; "fig20" ];
+  Alcotest.(check bool) "fig11 runs" true
+    (Slowcc.Experiments.run_by_name "fig11" <> None);
+  Alcotest.(check bool) "fig20 runs" true
+    (Slowcc.Experiments.run_by_name "fig20" <> None)
+
+let suite =
+  [
+    Alcotest.test_case "fig11 analytic values" `Quick test_fig11_values;
+    Alcotest.test_case "fig20 analytic values" `Quick test_fig20_values;
+    Alcotest.test_case "table printing" `Quick test_table_print_no_crash;
+    Alcotest.test_case "number formatting" `Quick test_fnum;
+    Alcotest.test_case "to_csv" `Quick test_to_csv;
+    Alcotest.test_case "save_csv" `Quick test_save_csv;
+    Alcotest.test_case "unknown experiment" `Quick test_run_by_name_unknown;
+    Alcotest.test_case "names table" `Quick test_names_resolvable_analytic;
+  ]

@@ -1,0 +1,63 @@
+(* Flash crowd generator. *)
+
+let fixture ?(cfg = Cc.Flash_crowd.default_config) () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:21 in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng (Netsim.Dumbbell.default_config ~bandwidth:10e6)
+  in
+  let crowd =
+    Cc.Flash_crowd.create ~sim ~rng:(Engine.Rng.split rng) ~dumbbell:db
+      ~start:1. cfg
+  in
+  (sim, crowd)
+
+let test_arrival_count () =
+  let sim, crowd = fixture () in
+  Engine.Sim.run ~until:30. sim;
+  let n = Cc.Flash_crowd.flows_started crowd in
+  (* Poisson with mean 1000 over 5 s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "started %d" n)
+    true
+    (n > 850 && n < 1150)
+
+let test_no_arrivals_before_start () =
+  let sim, crowd = fixture () in
+  Engine.Sim.run ~until:0.99 sim;
+  Alcotest.(check int) "quiet before start" 0
+    (Cc.Flash_crowd.flows_started crowd)
+
+let test_completion () =
+  let cfg = { Cc.Flash_crowd.default_config with Cc.Flash_crowd.arrival_rate = 20.; duration = 2. } in
+  let sim, crowd = fixture ~cfg () in
+  Engine.Sim.run ~until:60. sim;
+  let started = Cc.Flash_crowd.flows_started crowd in
+  let completed = Cc.Flash_crowd.flows_completed crowd in
+  Alcotest.(check bool) "nearly all complete" true
+    (completed >= started - 2 && started > 20);
+  Alcotest.(check bool) "bytes counted" true
+    (Cc.Flash_crowd.bytes_delivered crowd >= float_of_int (completed * 10000));
+  Alcotest.(check bool) "mean completion sane" true
+    (Cc.Flash_crowd.mean_completion_time crowd > 0.05
+    && Cc.Flash_crowd.mean_completion_time crowd < 10.)
+
+let test_validation () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:1 in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng (Netsim.Dumbbell.default_config ~bandwidth:1e6)
+  in
+  Alcotest.check_raises "bad rate" (Invalid_argument "Flash_crowd.create")
+    (fun () ->
+      ignore
+        (Cc.Flash_crowd.create ~sim ~rng ~dumbbell:db ~start:0.
+           { Cc.Flash_crowd.default_config with Cc.Flash_crowd.arrival_rate = 0. }))
+
+let suite =
+  [
+    Alcotest.test_case "arrival count" `Slow test_arrival_count;
+    Alcotest.test_case "quiet before start" `Quick test_no_arrivals_before_start;
+    Alcotest.test_case "flows complete" `Quick test_completion;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

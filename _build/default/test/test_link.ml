@@ -1,0 +1,103 @@
+(* Link transmission timing, pipelining, counters, drops. *)
+
+let mk_pkt ?(size = 1000) seq =
+  Netsim.Packet.make ~size ~seq ~flow:0 ~src:0 ~dst:1 ~sent_at:0. ()
+
+let fixture ?(bandwidth = 8e6) ?(delay = 0.01) ?(capacity = 100) () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Netsim.Link.make ~sim ~bandwidth ~delay
+      ~queue:(Netsim.Droptail.make ~capacity)
+  in
+  (sim, link)
+
+let test_tx_time () =
+  let _, link = fixture ~bandwidth:8e6 () in
+  (* 1000 bytes at 8 Mbps = 1 ms. *)
+  Alcotest.(check (float 1e-12)) "serialization" 0.001
+    (Netsim.Link.tx_time link ~bytes:1000)
+
+let test_delivery_time () =
+  let sim, link = fixture ~bandwidth:8e6 ~delay:0.01 () in
+  let arrival = ref 0. in
+  Netsim.Link.connect link (fun _ -> arrival := Engine.Sim.now sim);
+  Netsim.Link.send link (mk_pkt 1);
+  Engine.Sim.run sim;
+  (* tx 1ms + prop 10ms. *)
+  Alcotest.(check (float 1e-9)) "arrival" 0.011 !arrival
+
+let test_pipelining () =
+  let sim, link = fixture ~bandwidth:8e6 ~delay:0.1 () in
+  let arrivals = ref [] in
+  Netsim.Link.connect link (fun pkt ->
+      arrivals := (pkt.Netsim.Packet.seq, Engine.Sim.now sim) :: !arrivals);
+  Netsim.Link.send link (mk_pkt 1);
+  Netsim.Link.send link (mk_pkt 2);
+  Engine.Sim.run sim;
+  (* Second packet rides the wire behind the first: arrivals 1 tx apart,
+     not 1 tx + 1 prop. *)
+  match List.rev !arrivals with
+  | [ (1, t1); (2, t2) ] ->
+    Alcotest.(check (float 1e-9)) "first" 0.101 t1;
+    Alcotest.(check (float 1e-9)) "pipelined second" 0.102 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_ordering_preserved () =
+  let sim, link = fixture () in
+  let seqs = ref [] in
+  Netsim.Link.connect link (fun pkt ->
+      seqs := pkt.Netsim.Packet.seq :: !seqs);
+  for i = 1 to 20 do
+    Netsim.Link.send link (mk_pkt i)
+  done;
+  Engine.Sim.run sim;
+  Alcotest.(check (list int)) "fifo" (List.init 20 (fun i -> i + 1))
+    (List.rev !seqs)
+
+let test_counters_and_drops () =
+  let sim, link = fixture ~capacity:5 () in
+  Netsim.Link.connect link (fun _ -> ());
+  let dropped = ref [] in
+  Netsim.Link.on_drop link (fun pkt ->
+      dropped := pkt.Netsim.Packet.seq :: !dropped);
+  for i = 1 to 10 do
+    Netsim.Link.send link (mk_pkt i)
+  done;
+  Engine.Sim.run sim;
+  Alcotest.(check int) "arrivals" 10 (Netsim.Link.arrivals link);
+  (* One packet goes straight to the transmitter; 5 queue; the rest drop. *)
+  Alcotest.(check int) "drops" 4 (Netsim.Link.drops link);
+  Alcotest.(check int) "departures" 6 (Netsim.Link.departures link);
+  Alcotest.(check (float 0.)) "bytes out" 6000. (Netsim.Link.bytes_out link);
+  Alcotest.(check int) "drop hook saw them" 4 (List.length !dropped)
+
+let test_throughput_matches_bandwidth () =
+  let sim, link = fixture ~bandwidth:1e6 ~delay:0. ~capacity:10000 () in
+  Netsim.Link.connect link (fun _ -> ());
+  (* Offer 2x the link rate for 10 seconds. *)
+  Engine.Sim.every sim ~interval:0.004 ~stop:10. (fun () ->
+      Netsim.Link.send link (mk_pkt 0));
+  Engine.Sim.run ~until:10. sim;
+  let mbps = Netsim.Link.bytes_out link *. 8. /. 10. /. 1e6 in
+  Alcotest.(check bool) "saturated at capacity" true
+    (mbps > 0.95 && mbps <= 1.001)
+
+let test_validation () =
+  let sim = Engine.Sim.create () in
+  Alcotest.check_raises "bad bandwidth"
+    (Invalid_argument "Link.make: bandwidth must be positive") (fun () ->
+      ignore
+        (Netsim.Link.make ~sim ~bandwidth:0. ~delay:0.
+           ~queue:(Netsim.Droptail.make ~capacity:1)))
+
+let suite =
+  [
+    Alcotest.test_case "serialization time" `Quick test_tx_time;
+    Alcotest.test_case "delivery time" `Quick test_delivery_time;
+    Alcotest.test_case "pipelined propagation" `Quick test_pipelining;
+    Alcotest.test_case "ordering preserved" `Quick test_ordering_preserved;
+    Alcotest.test_case "counters and drops" `Quick test_counters_and_drops;
+    Alcotest.test_case "throughput at capacity" `Quick
+      test_throughput_matches_bandwidth;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,57 @@
+(* Node routing and agent dispatch. *)
+
+let mk_pkt ~flow ~dst = Netsim.Packet.make ~flow ~src:0 ~dst ~sent_at:0. ()
+
+let test_local_dispatch () =
+  let node = Netsim.Node.create ~id:5 in
+  let got = ref [] in
+  Netsim.Node.attach node ~flow:7 (fun pkt ->
+      got := pkt.Netsim.Packet.flow :: !got);
+  Netsim.Node.receive node (mk_pkt ~flow:7 ~dst:5);
+  Alcotest.(check (list int)) "dispatched" [ 7 ] !got
+
+let test_unknown_flow_discarded () =
+  let node = Netsim.Node.create ~id:5 in
+  Netsim.Node.receive node (mk_pkt ~flow:9 ~dst:5);
+  Alcotest.(check int) "discarded" 1 (Netsim.Node.discarded node)
+
+let test_detach () =
+  let node = Netsim.Node.create ~id:5 in
+  Netsim.Node.attach node ~flow:7 (fun _ -> ());
+  Netsim.Node.detach node ~flow:7;
+  Netsim.Node.receive node (mk_pkt ~flow:7 ~dst:5);
+  Alcotest.(check int) "discarded after detach" 1 (Netsim.Node.discarded node)
+
+let link_fixture sim =
+  Netsim.Link.make ~sim ~bandwidth:1e9 ~delay:0.001
+    ~queue:(Netsim.Droptail.make ~capacity:100)
+
+let test_routing () =
+  let sim = Engine.Sim.create () in
+  let node = Netsim.Node.create ~id:0 in
+  let l1 = link_fixture sim and l2 = link_fixture sim in
+  let via1 = ref 0 and via2 = ref 0 in
+  Netsim.Link.connect l1 (fun _ -> incr via1);
+  Netsim.Link.connect l2 (fun _ -> incr via2);
+  Netsim.Node.add_route node ~dst:1 l1;
+  Netsim.Node.set_default_route node l2;
+  Netsim.Node.receive node (mk_pkt ~flow:0 ~dst:1);
+  Netsim.Node.receive node (mk_pkt ~flow:0 ~dst:42);
+  Engine.Sim.run sim;
+  Alcotest.(check int) "explicit route" 1 !via1;
+  Alcotest.(check int) "default route" 1 !via2
+
+let test_no_route_discards () =
+  let node = Netsim.Node.create ~id:0 in
+  Netsim.Node.receive node (mk_pkt ~flow:0 ~dst:99);
+  Alcotest.(check int) "discarded" 1 (Netsim.Node.discarded node)
+
+let suite =
+  [
+    Alcotest.test_case "local dispatch" `Quick test_local_dispatch;
+    Alcotest.test_case "unknown flow discarded" `Quick
+      test_unknown_flow_discarded;
+    Alcotest.test_case "detach" `Quick test_detach;
+    Alcotest.test_case "routing" `Quick test_routing;
+    Alcotest.test_case "no route discards" `Quick test_no_route_discards;
+  ]

@@ -1,0 +1,148 @@
+(* The paper's headline findings, pinned at reduced scale so they run in
+   CI.  Each test is one qualitative claim from the abstract/conclusions. *)
+
+let small_restart ?(n_flows = 8) ~protocol () =
+  Slowcc.Scenarios.cbr_restart ~n_flows ~duration:260. ~protocol
+    ~bandwidth:24e6 ()
+
+let cost_of (r : Slowcc.Scenarios.cbr_restart_result) =
+  match r.Slowcc.Scenarios.stab with
+  | Some s -> s.Slowcc.Metrics.cost
+  | None -> 0.
+
+let time_of (r : Slowcc.Scenarios.cbr_restart_result) =
+  match r.Slowcc.Scenarios.stab with
+  | Some s -> s.Slowcc.Metrics.time_rtts
+  | None -> 0.
+
+(* "Incorporating self-clocking overcomes persistent overload even for
+   very slow variants" (Section 4.1). *)
+let test_self_clocking_cuts_stabilization_cost () =
+  let without =
+    small_restart ~protocol:(Slowcc.Protocol.tfrc ~k:64 ()) ()
+  in
+  let with_sc =
+    small_restart ~protocol:(Slowcc.Protocol.tfrc ~conservative:true ~k:64 ()) ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost %.1f (no SC) vs %.1f (SC)" (cost_of without)
+       (cost_of with_sc))
+    true
+    (cost_of with_sc <= cost_of without)
+
+(* "Longer stabilization for slower mechanisms" (Figure 4). *)
+let test_slower_gamma_slower_stabilization () =
+  let fast = small_restart ~protocol:(Slowcc.Protocol.tcp ~gamma:2.) () in
+  let slow = small_restart ~protocol:(Slowcc.Protocol.tcp ~gamma:64.) () in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcp %.0f RTTs vs tcp(1/64) %.0f RTTs" (time_of fast)
+       (time_of slow))
+    true
+    (time_of slow >= time_of fast)
+
+(* "TCP receives more throughput than competing TFRC flows when the
+   available bandwidth varies with a period of one to ten seconds"
+   (Section 4.2.1 / Figure 7). *)
+let test_tcp_beats_tfrc_under_oscillation () =
+  let r =
+    Slowcc.Scenarios.square_wave ~measure:100.
+      ~flows:
+        [ (Slowcc.Protocol.tcp ~gamma:2., 5); (Slowcc.Protocol.tfrc ~k:6 (), 5) ]
+      ~bandwidth:15e6 ~cbr_fraction:(2. /. 3.) ~period:4. ()
+  in
+  let tcp = r.Slowcc.Scenarios.group_mean "TCP(1/2)" in
+  let tfrc = r.Slowcc.Scenarios.group_mean "TFRC(6)" in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcp %.2f > tfrc %.2f x 1.2" tcp tfrc)
+    true
+    (tcp > 1.2 *. tfrc)
+
+(* "...but SlowCC does not take throughput away from TCP" — the converse
+   direction of safety: TFRC never ends up *above* fair share at TCP's
+   expense in the long run (Section 4.2.1). *)
+let test_tfrc_never_exceeds_tcp_long_term () =
+  let ratios =
+    List.map
+      (fun period ->
+        let r =
+          Slowcc.Scenarios.square_wave ~measure:80.
+            ~flows:
+              [ (Slowcc.Protocol.tcp ~gamma:2., 5);
+                (Slowcc.Protocol.tfrc ~k:6 (), 5) ]
+            ~bandwidth:15e6 ~cbr_fraction:(2. /. 3.) ~period ()
+        in
+        r.Slowcc.Scenarios.group_mean "TFRC(6)"
+        /. Float.max 0.01 (r.Slowcc.Scenarios.group_mean "TCP(1/2)"))
+      [ 0.5; 2.; 8. ]
+  in
+  List.iter
+    (fun ratio ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tfrc/tcp %.2f <= 1.15" ratio)
+        true (ratio <= 1.15))
+    ratios
+
+(* "Slowly-responsive algorithms lose throughput under a sudden bandwidth
+   increase" (Figure 13): f(20) decreases with slowness. *)
+let test_fk_decreases_with_slowness () =
+  let f p =
+    (Slowcc.Scenarios.bandwidth_double ~t_stop:80. ~protocol:p ~bandwidth:10e6 ())
+      .Slowcc.Scenarios.f20
+  in
+  let tcp = f (Slowcc.Protocol.tcp ~gamma:2.) in
+  let slow = f (Slowcc.Protocol.tcp ~gamma:64.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "f20: tcp %.2f > tcp(1/64) %.2f" tcp slow)
+    true (tcp > slow)
+
+(* "TFRC performs considerably worse than TCP(1/8) in both smoothness and
+   throughput under the harsh bursty loss pattern" (Figure 18). *)
+let test_harsh_pattern_hurts_tfrc () =
+  let run p =
+    let r =
+      Slowcc.Scenarios.loss_pattern ~duration:45. ~protocol:p
+        ~pattern:(Slowcc.Scenarios.Phases [ (6.0, 200); (1.0, 4) ])
+        ~bandwidth:10e6 ()
+    in
+    r.Slowcc.Scenarios.avg_throughput
+  in
+  let tfrc = run (Slowcc.Protocol.tfrc ~k:6 ()) in
+  let tcp18 = run (Slowcc.Protocol.tcp ~gamma:8.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tfrc %.0f < tcp(1/8) %.0f under harsh pattern" tfrc tcp18)
+    true (tfrc < tcp18)
+
+(* Figure 17's counterpart: under the mild pattern TFRC is smoother than
+   TCP(1/8). *)
+let test_mild_pattern_tfrc_smoother () =
+  let run p =
+    let r =
+      Slowcc.Scenarios.loss_pattern ~duration:45. ~protocol:p
+        ~pattern:(Slowcc.Scenarios.Counts [ 50; 50; 50; 400; 400; 400 ])
+        ~bandwidth:10e6 ()
+    in
+    r.Slowcc.Scenarios.smoothness
+  in
+  let tfrc = run (Slowcc.Protocol.tfrc ~k:6 ()) in
+  let tcp18 = run (Slowcc.Protocol.tcp ~gamma:8.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tfrc %.2f <= tcp(1/8) %.2f" tfrc tcp18)
+    true (tfrc <= tcp18 +. 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "self-clocking cuts stabilization cost" `Slow
+      test_self_clocking_cuts_stabilization_cost;
+    Alcotest.test_case "slower gamma stabilizes slower" `Slow
+      test_slower_gamma_slower_stabilization;
+    Alcotest.test_case "tcp beats tfrc under oscillation" `Slow
+      test_tcp_beats_tfrc_under_oscillation;
+    Alcotest.test_case "tfrc never exceeds tcp long-term" `Slow
+      test_tfrc_never_exceeds_tcp_long_term;
+    Alcotest.test_case "f(k) decreases with slowness" `Slow
+      test_fk_decreases_with_slowness;
+    Alcotest.test_case "harsh pattern hurts tfrc" `Slow
+      test_harsh_pattern_hurts_tfrc;
+    Alcotest.test_case "mild pattern: tfrc smoother" `Slow
+      test_mild_pattern_tfrc_smoother;
+  ]

@@ -1,0 +1,71 @@
+(* Periodic samplers. *)
+
+let test_level () =
+  let sim = Engine.Sim.create () in
+  let x = ref 0. in
+  (* Increment times (0.3, 0.6, 0.9, ...) never coincide with sampling
+     times (1, 2, 3), so the expected levels are unambiguous. *)
+  Engine.Sim.every sim ~interval:0.3 (fun () -> x := !x +. 1.);
+  let ts = Engine.Probe.sample_level sim ~every:1. (fun () -> !x) in
+  Engine.Sim.run ~until:2.5 sim;
+  let values = List.map snd (Engine.Timeseries.to_list ts) in
+  Alcotest.(check (list (float 0.))) "levels" [ 3.; 6. ] values
+
+let test_rate () =
+  let sim = Engine.Sim.create () in
+  let counter = ref 0. in
+  Engine.Sim.every sim ~interval:0.03 (fun () -> counter := !counter +. 1.5);
+  let ts = Engine.Probe.sample_rate sim ~every:1. (fun () -> !counter) in
+  Engine.Sim.run ~until:2.5 sim;
+  let values = List.map snd (Engine.Timeseries.to_list ts) in
+  (* 1.5 units per 0.03 s = 50 per second, within one tick of jitter. *)
+  List.iter
+    (fun v -> Alcotest.(check bool) "rate near 50" true (Float.abs (v -. 50.) < 2.))
+    values;
+  Alcotest.(check int) "two samples" 2 (List.length values)
+
+let test_ratio () =
+  let sim = Engine.Sim.create () in
+  let num = ref 0. and den = ref 0. in
+  Engine.Sim.every sim ~interval:0.1 (fun () ->
+      den := !den +. 10.;
+      num := !num +. 1.);
+  let ts =
+    Engine.Probe.sample_ratio sim ~every:1.
+      ~num:(fun () -> !num)
+      ~den:(fun () -> !den)
+  in
+  Engine.Sim.run ~until:2.5 sim;
+  List.iter
+    (fun (_, v) -> Alcotest.(check (float 1e-9)) "ratio" 0.1 v)
+    (Engine.Timeseries.to_list ts)
+
+let test_ratio_zero_denominator () =
+  let sim = Engine.Sim.create () in
+  let ts =
+    Engine.Probe.sample_ratio sim ~every:1.
+      ~num:(fun () -> 0.)
+      ~den:(fun () -> 0.)
+  in
+  (* The sampler reschedules forever; bound the run with a horizon. *)
+  Engine.Sim.run ~until:3.5 sim;
+  List.iter
+    (fun (_, v) -> Alcotest.(check (float 0.)) "zero" 0. v)
+    (Engine.Timeseries.to_list ts)
+
+let test_stop () =
+  let sim = Engine.Sim.create () in
+  let ts = Engine.Probe.sample_level ~stop:2.5 sim ~every:1. (fun () -> 1.) in
+  Engine.Sim.at sim 10. (fun () -> ());
+  Engine.Sim.run sim;
+  Alcotest.(check int) "stopped sampling" 2 (Engine.Timeseries.length ts)
+
+let suite =
+  [
+    Alcotest.test_case "level sampling" `Quick test_level;
+    Alcotest.test_case "rate sampling" `Quick test_rate;
+    Alcotest.test_case "ratio sampling" `Quick test_ratio;
+    Alcotest.test_case "ratio with zero denominator" `Quick
+      test_ratio_zero_denominator;
+    Alcotest.test_case "stop bound" `Quick test_stop;
+  ]

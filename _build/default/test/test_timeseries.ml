@@ -1,0 +1,81 @@
+(* Time series container and windowed queries. *)
+
+let series pts =
+  let ts = Engine.Timeseries.create () in
+  List.iter (fun (t, v) -> Engine.Timeseries.add ts ~time:t v) pts;
+  ts
+
+let test_roundtrip () =
+  let pts = [ (0., 1.); (1., 2.); (2., 3.) ] in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "to_list" pts
+    (Engine.Timeseries.to_list (series pts))
+
+let test_monotonic_guard () =
+  let ts = series [ (1., 0.) ] in
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Timeseries.add: non-monotonic time") (fun () ->
+      Engine.Timeseries.add ts ~time:0.5 0.)
+
+let test_between () =
+  let ts = series [ (0., 10.); (1., 20.); (2., 30.); (3., 40.) ] in
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "window" [ (1., 20.); (2., 30.) ]
+    (Engine.Timeseries.between ts ~lo:1. ~hi:3.)
+
+let test_mean_between () =
+  let ts = series [ (0., 10.); (1., 20.); (2., 30.) ] in
+  (match Engine.Timeseries.mean_between ts ~lo:0. ~hi:2. with
+  | Some m -> Alcotest.(check (float 1e-9)) "mean" 15. m
+  | None -> Alcotest.fail "expected Some");
+  Alcotest.(check bool) "empty window" true
+    (Engine.Timeseries.mean_between ts ~lo:5. ~hi:6. = None)
+
+let test_last () =
+  let ts = series [ (0., 1.); (5., 9.) ] in
+  match Engine.Timeseries.last ts with
+  | Some (t, v) ->
+    Alcotest.(check (float 0.)) "time" 5. t;
+    Alcotest.(check (float 0.)) "value" 9. v
+  | None -> Alcotest.fail "expected last"
+
+let test_max_ratio () =
+  let ts = series [ (0., 100.); (1., 200.); (2., 100.); (3., 105.) ] in
+  Alcotest.(check (float 1e-9)) "worst doubling" 2.
+    (Engine.Timeseries.max_consecutive_ratio ts)
+
+let test_max_ratio_floor () =
+  (* Pairs touching zero are skipped to avoid infinite ratios. *)
+  let ts = series [ (0., 100.); (1., 0.); (2., 100.); (3., 110.) ] in
+  Alcotest.(check (float 1e-9)) "floored" 1.1
+    (Engine.Timeseries.max_consecutive_ratio ~floor:1. ts)
+
+let test_fold () =
+  let ts = series [ (0., 1.); (1., 2.); (2., 3.) ] in
+  let sum = Engine.Timeseries.fold ts ~init:0. ~f:(fun acc _ v -> acc +. v) in
+  Alcotest.(check (float 0.)) "fold sum" 6. sum
+
+let prop_between_subset =
+  QCheck2.Test.make ~name:"between returns a sorted subset in range" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 50) (float_range 0. 100.))
+    (fun values ->
+      let ts = Engine.Timeseries.create () in
+      List.iteri
+        (fun i v -> Engine.Timeseries.add ts ~time:(float_of_int i) v)
+        values;
+      let got = Engine.Timeseries.between ts ~lo:10. ~hi:30. in
+      List.for_all (fun (t, _) -> t >= 10. && t < 30.) got
+      && List.sort compare got = got)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "monotonic guard" `Quick test_monotonic_guard;
+    Alcotest.test_case "between" `Quick test_between;
+    Alcotest.test_case "mean between" `Quick test_mean_between;
+    Alcotest.test_case "last" `Quick test_last;
+    Alcotest.test_case "max consecutive ratio" `Quick test_max_ratio;
+    Alcotest.test_case "ratio floor" `Quick test_max_ratio_floor;
+    Alcotest.test_case "fold" `Quick test_fold;
+    QCheck_alcotest.to_alcotest prop_between_subset;
+  ]

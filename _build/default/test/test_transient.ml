@@ -1,0 +1,70 @@
+(* Responsiveness and aggressiveness metrics (Section 3). *)
+
+let test_tcp_responsiveness_fast () =
+  match Slowcc.Transient.responsiveness (Slowcc.Protocol.tcp ~gamma:2.) with
+  | Some r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "tcp halves within a few RTTs (%.0f)" r)
+      true (r <= 6.)
+  | None -> Alcotest.fail "tcp never halved"
+
+let test_slower_protocols_slower () =
+  let get p =
+    match Slowcc.Transient.responsiveness p with
+    | Some r -> r
+    | None -> 1e9
+  in
+  let tcp = get (Slowcc.Protocol.tcp ~gamma:2.) in
+  let tfrc256 = get (Slowcc.Protocol.tfrc ~k:256 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcp %.0f << tfrc256 %.0f" tcp tfrc256)
+    true
+    (tfrc256 > 5. *. tcp)
+
+let test_tfrc_responsiveness_band () =
+  match Slowcc.Transient.responsiveness (Slowcc.Protocol.tfrc ~k:6 ()) with
+  | Some r ->
+    (* The paper quotes 4-6 RTTs; allow simulation slack. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "tfrc(6) responsiveness %.0f in [3, 15]" r)
+      true
+      (r >= 3. && r <= 15.)
+  | None -> Alcotest.fail "tfrc never halved"
+
+let test_tcp_aggressiveness_is_a () =
+  let a = Slowcc.Transient.aggressiveness (Slowcc.Protocol.tcp ~gamma:2.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcp aggressiveness %.2f near 1" a)
+    true
+    (a > 0.6 && a < 1.4)
+
+let test_aggressiveness_ordering () =
+  let a_tcp = Slowcc.Transient.aggressiveness (Slowcc.Protocol.tcp ~gamma:2.) in
+  let a_18 = Slowcc.Transient.aggressiveness (Slowcc.Protocol.tcp ~gamma:8.) in
+  let a_tfrc = Slowcc.Transient.aggressiveness (Slowcc.Protocol.tfrc ~k:6 ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tcp %.2f > tcp(1/8) %.2f > 0" a_tcp a_18)
+    true
+    (a_tcp > a_18 && a_18 > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "tfrc %.2f < tcp %.2f" a_tfrc a_tcp)
+    true (a_tfrc < a_tcp)
+
+let test_table_shape () =
+  let t = Slowcc.Transient.table ~quick:true () in
+  Alcotest.(check int) "two quick rows" 2 (List.length t.Slowcc.Table.rows);
+  Alcotest.(check int) "three columns" 3 (List.length t.Slowcc.Table.columns)
+
+let suite =
+  [
+    Alcotest.test_case "tcp responsiveness" `Slow test_tcp_responsiveness_fast;
+    Alcotest.test_case "slower protocols respond slower" `Slow
+      test_slower_protocols_slower;
+    Alcotest.test_case "tfrc responsiveness band" `Slow
+      test_tfrc_responsiveness_band;
+    Alcotest.test_case "tcp aggressiveness = a" `Slow
+      test_tcp_aggressiveness_is_a;
+    Alcotest.test_case "aggressiveness ordering" `Slow
+      test_aggressiveness_ordering;
+    Alcotest.test_case "table shape" `Slow test_table_shape;
+  ]
