@@ -3,17 +3,25 @@
    dune exec bench/main.exe                 -- all figures, full sweeps
    dune exec bench/main.exe -- --quick      -- shrunk sweeps (minutes)
    dune exec bench/main.exe -- --only fig7  -- a single figure
-   dune exec bench/main.exe -- --perf       -- bechamel micro-benchmarks *)
+   dune exec bench/main.exe -- --jobs 8     -- sweeps on 8 worker domains
+   dune exec bench/main.exe -- --perf       -- micro-benchmarks + BENCH_engine.json *)
 
 let () =
   let quick = ref false and only = ref [] and perf = ref false in
   let outdir = ref "" in
+  let jobs = ref (Engine.Pool.default_jobs ()) in
   let args =
     [
       ("--quick", Arg.Set quick, "shrink sweeps and durations");
       ( "--only",
         Arg.String (fun s -> only := s :: !only),
         "run a single experiment id (repeatable)" );
+      ( "--jobs",
+        Arg.Set_int jobs,
+        Printf.sprintf
+          "N worker domains for the sweeps (default %d, this machine's \
+           recommended domain count; 1 = serial)"
+          (Engine.Pool.default_jobs ()) );
       ("--perf", Arg.Set perf, "run simulator micro-benchmarks instead");
       ( "--outdir",
         Arg.Set_string outdir,
@@ -22,28 +30,33 @@ let () =
   in
   Arg.parse args
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "bench/main.exe [--quick] [--only figN]... [--perf]";
+    "bench/main.exe [--quick] [--only figN]... [--jobs N] [--perf]";
   let fmt = Format.std_formatter in
-  if !perf then Perf.run ()
+  if !perf then Perf.run ~suite_jobs:!jobs ()
   else begin
     let t0 = Unix.gettimeofday () in
+    let failed = ref false in
     let emit table =
       Slowcc.Table.print fmt table;
       Format.pp_print_flush fmt ();
       if !outdir <> "" then
         ignore (Slowcc.Table.save_csv ~dir:!outdir table)
     in
-    (match !only with
-    | [] -> ignore (Slowcc.Experiments.all ~emit ~quick:!quick ())
-    | names ->
-      List.iter
-        (fun name ->
-          match Slowcc.Experiments.run_by_name ~quick:!quick name with
-          | Some tables -> List.iter emit tables
-          | None ->
-            Format.eprintf "unknown experiment %s (known: %s)@." name
-              (String.concat ", " Slowcc.Experiments.names))
-        (List.rev names));
-    Format.fprintf fmt "@.total wall time: %.1f s@."
+    Engine.Pool.with_pool ~jobs:!jobs (fun pool ->
+        match !only with
+        | [] -> ignore (Slowcc.Experiments.all ~emit ~quick:!quick ~pool ())
+        | names ->
+          List.iter
+            (fun name ->
+              match Slowcc.Experiments.run_by_name ~quick:!quick ~pool name with
+              | Some tables -> List.iter emit tables
+              | None ->
+                failed := true;
+                Format.eprintf "unknown experiment %s (known: %s)@." name
+                  (String.concat ", " Slowcc.Experiments.names))
+            (List.rev names));
+    Format.fprintf fmt "@.total wall time: %.1f s (jobs=%d)@."
       (Unix.gettimeofday () -. t0)
+      (Engine.Pool.clamp_jobs !jobs);
+    if !failed then exit 1
   end

@@ -20,6 +20,16 @@ let verbose_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps and durations.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Engine.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parameter sweeps (default: this machine's \
+           recommended domain count; 1 = serial).  Results are identical \
+           for any N.")
+
 let list_cmd =
   let run () =
     List.iter print_endline Slowcc.Experiments.names;
@@ -35,28 +45,31 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig7.")
   in
-  let run verbose quick name =
+  let run verbose quick jobs name =
     setup_logs verbose;
-    match Slowcc.Experiments.run_by_name ~quick name with
-    | Some tables ->
-      List.iter (Slowcc.Table.print fmt) tables;
-      0
-    | None ->
-      Format.eprintf "unknown experiment %s; try 'slowcc_run list'@." name;
-      1
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        match Slowcc.Experiments.run_by_name ~quick ~pool name with
+        | Some tables ->
+          List.iter (Slowcc.Table.print fmt) tables;
+          0
+        | None ->
+          Format.eprintf "unknown experiment %s; try 'slowcc_run list'@." name;
+          1)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
-    Term.(const run $ verbose_arg $ quick_arg $ name_arg)
+    Term.(const run $ verbose_arg $ quick_arg $ jobs_arg $ name_arg)
 
 let all_cmd =
-  let run quick =
-    List.iter (Slowcc.Table.print fmt) (Slowcc.Experiments.all ~quick ());
+  let run quick jobs =
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        List.iter (Slowcc.Table.print fmt)
+          (Slowcc.Experiments.all ~quick ~pool ()));
     0
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in figure order")
-    Term.(const run $ quick_arg)
+    Term.(const run $ quick_arg $ jobs_arg)
 
 let protocol_conv =
   let parse s =

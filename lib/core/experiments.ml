@@ -1,6 +1,27 @@
 let fnum = Table.fnum
 let fpct = Table.fpct
 
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep plumbing                                             *)
+(*                                                                     *)
+(* Every sweep below is a list of closed, independently-seeded jobs:   *)
+(* each job builds its own Sim.t and Rng.t from a fixed seed, so the   *)
+(* tables are bit-identical whether the jobs run serially ([pool] is   *)
+(* [None]) or on any number of worker domains.  Results are always     *)
+(* reassembled in submission order.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let pmap ?pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some pool -> Engine.Pool.map_list pool f xs
+
+(* Keyed form: run [(key, thunk)] jobs, get [(key, result)] in order. *)
+let prun ?pool jobs =
+  match pool with
+  | None -> List.map (fun (k, f) -> (k, f ())) jobs
+  | Some pool -> Engine.Pool.run_jobs pool jobs
+
 (* Scenario bandwidths.  The paper gives 15 Mbps for the 3:1 oscillation
    experiments; for the others we size the link so that steady-state
    per-flow windows land in the paper's regime (a few percent loss). *)
@@ -30,7 +51,7 @@ let restart_families =
 (* Figure 3: loss-rate time series around the CBR restart              *)
 (* ------------------------------------------------------------------ *)
 
-let fig3 ?(quick = false) () =
+let fig3 ?(quick = false) ?pool () =
   let protocols =
     if quick then
       [
@@ -50,10 +71,14 @@ let fig3 ?(quick = false) () =
   in
   let duration = if quick then 230. else 300. in
   let results =
-    List.map
-      (fun (name, p) ->
-        (name, Scenarios.cbr_restart ~duration ~protocol:p ~bandwidth:bw_restart ()))
-      protocols
+    prun ?pool
+      (List.map
+         (fun (name, p) ->
+           ( name,
+             fun () ->
+               Scenarios.cbr_restart ~duration ~protocol:p
+                 ~bandwidth:bw_restart () ))
+         protocols)
   in
   let sample_times =
     List.init 17 (fun i -> 175. +. (2.5 *. float_of_int i))
@@ -87,21 +112,33 @@ let fig3 ?(quick = false) () =
 (* Figures 4 and 5: stabilization time and cost vs gamma               *)
 (* ------------------------------------------------------------------ *)
 
-let stabilization_sweep ?(queue = Netsim.Dumbbell.Red) ~quick () =
+let stabilization_sweep ?(queue = Netsim.Dumbbell.Red) ?pool ~quick () =
   let gammas = gamma_sweep quick in
-  List.map
-    (fun (family, make) ->
-      let cells =
+  (* One job per (family, gamma) cell — the full matrix fans out at once
+     instead of nesting a serial gamma loop inside each family. *)
+  let jobs =
+    List.concat_map
+      (fun (family, make) ->
         List.map
           (fun g ->
-            let r =
-              Scenarios.cbr_restart ~queue ~protocol:(make g)
-                ~bandwidth:bw_restart ()
-            in
-            (g, r.Scenarios.stab))
-          gammas
-      in
-      (family, cells))
+            ( (family, g),
+              fun () ->
+                let r =
+                  Scenarios.cbr_restart ~queue ~protocol:(make g)
+                    ~bandwidth:bw_restart ()
+                in
+                r.Scenarios.stab ))
+          gammas)
+      restart_families
+  in
+  let cells = prun ?pool jobs in
+  List.map
+    (fun (family, _) ->
+      ( family,
+        List.filter_map
+          (fun ((family', g), stab) ->
+            if String.equal family family' then Some (g, stab) else None)
+          cells ))
     restart_families
 
 let stab_tables ~id_time ~id_cost ~title_suffix sweep gammas =
@@ -137,8 +174,8 @@ let stab_tables ~id_time ~id_cost ~title_suffix sweep gammas =
       ~title:("Stabilization cost vs gamma" ^ title_suffix)
       ~columns:col_names cost_rows )
 
-let fig4_fig5 ?(quick = false) () =
-  let sweep = stabilization_sweep ~quick () in
+let fig4_fig5 ?(quick = false) ?pool () =
+  let sweep = stabilization_sweep ?pool ~quick () in
   stab_tables ~id_time:"fig4" ~id_cost:"fig5" ~title_suffix:" (RED)" sweep
     (gamma_sweep quick)
 
@@ -146,7 +183,7 @@ let fig4_fig5 ?(quick = false) () =
 (* Figure 6: flash crowd                                               *)
 (* ------------------------------------------------------------------ *)
 
-let fig6 ?(quick = false) () =
+let fig6 ?(quick = false) ?pool () =
   let protocols =
     [
       ("TCP(1/2)", Protocol.tcp ~gamma:2.);
@@ -156,10 +193,14 @@ let fig6 ?(quick = false) () =
   in
   let duration = if quick then 45. else 60. in
   let results =
-    List.map
-      (fun (name, p) ->
-        (name, Scenarios.flash_crowd ~duration ~protocol:p ~bandwidth:bw_flash ()))
-      protocols
+    prun ?pool
+      (List.map
+         (fun (name, p) ->
+           ( name,
+             fun () ->
+               Scenarios.flash_crowd ~duration ~protocol:p
+                 ~bandwidth:bw_flash () ))
+         protocols)
   in
   let times = List.init 21 (fun i -> 20. +. float_of_int i) in
   let mbps ts lo = Metrics.mean_between ts ~lo ~hi:(lo +. 1.) *. 8. /. 1e6 in
@@ -198,11 +239,11 @@ let fig6 ?(quick = false) () =
 let periods_full = [ 0.2; 0.4; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 100. ]
 let periods_quick = [ 0.4; 4.; 32. ]
 
-let fairness_wave ~id ~quick ~other_name ~other =
+let fairness_wave ~id ~quick ?pool ~other_name ~other () =
   let periods = if quick then periods_quick else periods_full in
   let tcp = Protocol.tcp ~gamma:2. in
   let rows =
-    List.map
+    pmap ?pool
       (fun period ->
         let r =
           Scenarios.square_wave
@@ -229,30 +270,32 @@ let fairness_wave ~id ~quick ~other_name ~other =
       [ "normalized: 1.0 = fair share of the average available bandwidth" ]
     rows
 
-let fig7 ?(quick = false) () =
-  fairness_wave ~id:"fig7" ~quick ~other_name:"TFRC(6)"
-    ~other:(Protocol.tfrc ~k:6 ())
+let fig7 ?(quick = false) ?pool () =
+  fairness_wave ~id:"fig7" ~quick ?pool ~other_name:"TFRC(6)"
+    ~other:(Protocol.tfrc ~k:6 ()) ()
 
-let fig8 ?(quick = false) () =
-  fairness_wave ~id:"fig8" ~quick ~other_name:"TCP(1/8)"
-    ~other:(Protocol.tcp ~gamma:8.)
+let fig8 ?(quick = false) ?pool () =
+  fairness_wave ~id:"fig8" ~quick ?pool ~other_name:"TCP(1/8)"
+    ~other:(Protocol.tcp ~gamma:8.) ()
 
-let fig9 ?(quick = false) () =
-  fairness_wave ~id:"fig9" ~quick ~other_name:"SQRT(1/2)"
-    ~other:(Protocol.sqrt_ ~gamma:2.)
+let fig9 ?(quick = false) ?pool () =
+  fairness_wave ~id:"fig9" ~quick ?pool ~other_name:"SQRT(1/2)"
+    ~other:(Protocol.sqrt_ ~gamma:2.) ()
 
 (* ------------------------------------------------------------------ *)
 (* Figures 10 and 12: delta-fair convergence times                     *)
 (* ------------------------------------------------------------------ *)
 
-let convergence_table ~id ~title ~protocol_of ~params ~quick =
+let convergence_table ~id ~title ?pool ~protocol_of ~params ~quick () =
   let n_trials = if quick then 1 else 3 in
   let cap = if quick then 200. else 600. in
+  (* Parallelism comes from the param sweep; the per-param trials also
+     take the pool but run inline when already on a worker domain. *)
   let rows =
-    List.map
+    pmap ?pool
       (fun param ->
         let time, converged =
-          Scenarios.fair_convergence ~n_trials ~cap
+          Scenarios.fair_convergence ?pool ~n_trials ~cap
             ~protocol:(protocol_of param) ~bandwidth:bw_fair ()
         in
         [
@@ -266,25 +309,27 @@ let convergence_table ~id ~title ~protocol_of ~params ~quick =
     ~columns:[ "1/b"; "time to 0.1-fair (s)"; "converged" ]
     rows
 
-let fig10 ?(quick = false) () =
+let fig10 ?(quick = false) ?pool () =
   let params = if quick then [ 2.; 8.; 64. ] else [ 2.; 4.; 8.; 16.; 32.; 64.; 128. ] in
   convergence_table ~id:"fig10"
     ~title:"Time to 0.1-fairness for two TCP(b) flows, B = 10 Mbps"
+    ?pool
     ~protocol_of:(fun g -> Protocol.tcp ~gamma:g)
-    ~params ~quick
+    ~params ~quick ()
 
-let fig12 ?(quick = false) () =
+let fig12 ?(quick = false) ?pool () =
   let params = if quick then [ 2.; 8.; 64. ] else [ 2.; 4.; 8.; 16.; 32.; 64.; 256. ] in
   convergence_table ~id:"fig12"
     ~title:"Time to 0.1-fairness for two TFRC(b) flows, B = 10 Mbps"
+    ?pool
     ~protocol_of:(fun g -> Protocol.tfrc ~k:(int_of_float g) ())
-    ~params ~quick
+    ~params ~quick ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 11: analytical ACK count for 0.1-fairness                    *)
 (* ------------------------------------------------------------------ *)
 
-let fig11 ?quick:_ () =
+let fig11 ?quick:_ ?pool:_ () =
   let bs = [ 0.5; 0.25; 0.125; 1. /. 16.; 1. /. 32.; 1. /. 64.; 1. /. 128.; 1. /. 256. ] in
   let rows =
     List.map
@@ -306,7 +351,7 @@ let fig11 ?quick:_ () =
 (* Figure 13: f(20) and f(200) after a bandwidth doubling              *)
 (* ------------------------------------------------------------------ *)
 
-let fig13 ?(quick = false) () =
+let fig13 ?(quick = false) ?pool () =
   let params = if quick then [ 2.; 8.; 256. ] else [ 2.; 4.; 8.; 16.; 64.; 256. ] in
   let t_stop = if quick then 60. else 300. in
   let families =
@@ -316,17 +361,31 @@ let fig13 ?(quick = false) () =
       ("TFRC(b)", fun g -> Protocol.tfrc ~k:(int_of_float g) ());
     ]
   in
+  (* Flatten the params x families matrix into one job list. *)
+  let cells =
+    prun ?pool
+      (List.concat_map
+         (fun g ->
+           List.map
+             (fun (fam, make) ->
+               ( (g, fam),
+                 fun () ->
+                   let r =
+                     Scenarios.bandwidth_double ~t_stop ~protocol:(make g)
+                       ~bandwidth:bw_double ()
+                   in
+                   (r.Scenarios.f20, r.Scenarios.f200) ))
+             families)
+         params)
+  in
   let rows =
     List.map
       (fun g ->
         fnum g
         :: List.concat_map
-             (fun (_, make) ->
-               let r =
-                 Scenarios.bandwidth_double ~t_stop ~protocol:(make g)
-                   ~bandwidth:bw_double ()
-               in
-               [ fnum r.Scenarios.f20; fnum r.Scenarios.f200 ])
+             (fun (fam, _) ->
+               let f20, f200 = List.assoc (g, fam) cells in
+               [ fnum f20; fnum f200 ])
              families)
       params
   in
@@ -344,7 +403,7 @@ let fig13 ?(quick = false) () =
 let onoff_times_full = [ 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5. ]
 let onoff_times_quick = [ 0.05; 0.2; 1. ]
 
-let homogeneous_wave ~quick ~bandwidth ~cbr_fraction =
+let homogeneous_wave ?pool ~quick ~bandwidth ~cbr_fraction () =
   let onoffs = if quick then onoff_times_quick else onoff_times_full in
   let protocols =
     [
@@ -353,18 +412,27 @@ let homogeneous_wave ~quick ~bandwidth ~cbr_fraction =
       ("TFRC(6)", Protocol.tfrc ~k:6 ());
     ]
   in
+  (* One job per (on/off time, protocol) cell. *)
+  let cells =
+    prun ?pool
+      (List.concat_map
+         (fun onoff ->
+           List.map
+             (fun (name, p) ->
+               ( (onoff, name),
+                 fun () ->
+                   Scenarios.square_wave
+                     ~measure:(if quick then 60. else 120.)
+                     ~flows:[ (p, 10) ] ~bandwidth ~cbr_fraction
+                     ~period:(2. *. onoff) () ))
+             protocols)
+         onoffs)
+  in
   List.map
     (fun onoff ->
       ( onoff,
         List.map
-          (fun (name, p) ->
-            let r =
-              Scenarios.square_wave
-                ~measure:(if quick then 60. else 120.)
-                ~flows:[ (p, 10) ] ~bandwidth ~cbr_fraction
-                ~period:(2. *. onoff) ()
-            in
-            (name, r))
+          (fun (name, _) -> (name, List.assoc (onoff, name) cells))
           protocols ))
     onoffs
 
@@ -401,16 +469,17 @@ let wave_util_tables ~id_util ~id_drop ~title results =
       ~columns:("on/off(s)" :: proto_names)
       drop_rows )
 
-let fig14_fig15 ?(quick = false) () =
+let fig14_fig15 ?(quick = false) ?pool () =
   let results =
-    homogeneous_wave ~quick ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.)
+    homogeneous_wave ?pool ~quick ~bandwidth:bw_wave_31
+      ~cbr_fraction:(2. /. 3.) ()
   in
   wave_util_tables ~id_util:"fig14" ~id_drop:"fig15"
     ~title:"3:1 oscillating bandwidth, 10 identical flows" results
 
-let fig16 ?(quick = false) () =
+let fig16 ?(quick = false) ?pool () =
   let results =
-    homogeneous_wave ~quick ~bandwidth:bw_wave_101 ~cbr_fraction:0.9
+    homogeneous_wave ?pool ~quick ~bandwidth:bw_wave_101 ~cbr_fraction:0.9 ()
   in
   let util, _ =
     wave_util_tables ~id_util:"fig16" ~id_drop:"fig16-drop"
@@ -425,15 +494,17 @@ let fig16 ?(quick = false) () =
 let mild_pattern = Scenarios.Counts [ 50; 50; 50; 400; 400; 400 ]
 let harsh_pattern = Scenarios.Phases [ (6.0, 200); (1.0, 4) ]
 
-let pattern_table ~id ~title ~pattern ~protocols ~quick =
+let pattern_table ~id ~title ?pool ~pattern ~protocols ~quick () =
   let duration = if quick then 40. else 60. in
   let results =
-    List.map
-      (fun (name, p) ->
-        ( name,
-          Scenarios.loss_pattern ~duration ~protocol:p ~pattern
-            ~bandwidth:bw_pattern () ))
-      protocols
+    prun ?pool
+      (List.map
+         (fun (name, p) ->
+           ( name,
+             fun () ->
+               Scenarios.loss_pattern ~duration ~protocol:p ~pattern
+                 ~bandwidth:bw_pattern () ))
+         protocols)
   in
   let times =
     List.init 40 (fun i -> 30. +. (0.2 *. float_of_int i))
@@ -464,45 +535,45 @@ let pattern_table ~id ~title ~pattern ~protocols ~quick =
     ~columns:("time(s)" :: List.map (fun (n, _) -> n ^ " Mbps") results)
     ~notes rows
 
-let fig17 ?(quick = false) () =
+let fig17 ?(quick = false) ?pool () =
   pattern_table ~id:"fig17"
     ~title:"Sending rate under the mild bursty loss pattern (0.2s bins)"
-    ~pattern:mild_pattern
+    ?pool ~pattern:mild_pattern
     ~protocols:
       [
         ("TFRC(6)", Protocol.tfrc ~k:6 ());
         ("TCP(1/8)", Protocol.tcp ~gamma:8.);
       ]
-    ~quick
+    ~quick ()
 
-let fig18 ?(quick = false) () =
+let fig18 ?(quick = false) ?pool () =
   pattern_table ~id:"fig18"
     ~title:"Sending rate under the harsh bursty loss pattern (0.2s bins)"
-    ~pattern:harsh_pattern
+    ?pool ~pattern:harsh_pattern
     ~protocols:
       [
         ("TFRC(6)", Protocol.tfrc ~k:6 ());
         ("TCP(1/8)", Protocol.tcp ~gamma:8.);
         ("TCP(1/2)", Protocol.tcp ~gamma:2.);
       ]
-    ~quick
+    ~quick ()
 
-let fig19 ?(quick = false) () =
+let fig19 ?(quick = false) ?pool () =
   pattern_table ~id:"fig19"
     ~title:"IIAD vs SQRT under the mild bursty loss pattern (0.2s bins)"
-    ~pattern:mild_pattern
+    ?pool ~pattern:mild_pattern
     ~protocols:
       [
         ("IIAD", Protocol.iiad ~gamma:2.);
         ("SQRT", Protocol.sqrt_ ~gamma:2.);
       ]
-    ~quick
+    ~quick ()
 
 (* ------------------------------------------------------------------ *)
 (* Figure 20: response functions with and without timeouts             *)
 (* ------------------------------------------------------------------ *)
 
-let fig20 ?quick:_ () =
+let fig20 ?quick:_ ?pool:_ () =
   let ps = [ 0.01; 0.03; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9 ] in
   let rows =
     List.map
@@ -534,7 +605,7 @@ let fig20 ?quick:_ () =
    measured points must fall between the Reno lower bound and the
    AIMD-with-timeouts upper bound.  The minimum RTO is set to one RTT so
    the timeout backoff operates in RTT units, as the model assumes. *)
-let ablation_response_sim ?(quick = false) () =
+let ablation_response_sim ?(quick = false) ?pool () =
   let rtt = 0.05 in
   let drop_every = if quick then [ 100; 4 ] else [ 300; 100; 30; 10; 6; 4; 3; 2 ] in
   let measure ?(sack = false) n =
@@ -572,7 +643,7 @@ let ablation_response_sim ?(quick = false) () =
     flow.Cc.Flow.bytes_delivered () /. 1000. /. (horizon /. rtt)
   in
   let rows =
-    List.map
+    pmap ?pool
       (fun n ->
         let p = 1. /. float_of_int n in
         [
@@ -598,23 +669,34 @@ let ablation_response_sim ?(quick = false) () =
       ]
     rows
 
-let ablation_self_clocking ?(quick = false) () =
+let ablation_self_clocking ?(quick = false) ?pool () =
   let gammas = if quick then [ 8.; 256. ] else [ 8.; 32.; 64.; 256. ] in
+  (* One job per (gamma, conservative) run. *)
+  let cells =
+    prun ?pool
+      (List.concat_map
+         (fun g ->
+           List.map
+             (fun conservative ->
+               ( (g, conservative),
+                 fun () ->
+                   let r =
+                     Scenarios.cbr_restart
+                       ~protocol:
+                         (Protocol.tfrc ~conservative ~k:(int_of_float g) ())
+                       ~bandwidth:bw_restart ()
+                   in
+                   match r.Scenarios.stab with
+                   | Some s -> (s.Metrics.time_rtts, s.Metrics.cost)
+                   | None -> (0., 0.) ))
+             [ false; true ])
+         gammas)
+  in
   let rows =
     List.map
       (fun g ->
-        let run conservative =
-          let r =
-            Scenarios.cbr_restart
-              ~protocol:(Protocol.tfrc ~conservative ~k:(int_of_float g) ())
-              ~bandwidth:bw_restart ()
-          in
-          match r.Scenarios.stab with
-          | Some s -> (s.Metrics.time_rtts, s.Metrics.cost)
-          | None -> (0., 0.)
-        in
-        let t_off, c_off = run false in
-        let t_on, c_on = run true in
+        let t_off, c_off = List.assoc (g, false) cells in
+        let t_on, c_on = List.assoc (g, true) cells in
         [ fnum g; fnum t_off; fnum c_off; fnum t_on; fnum c_on ])
       gammas
   in
@@ -623,10 +705,10 @@ let ablation_self_clocking ?(quick = false) () =
     ~columns:[ "g"; "time(RTT) off"; "cost off"; "time(RTT) on"; "cost on" ]
     rows
 
-let ablation_conservative_c ?(quick = false) () =
+let ablation_conservative_c ?(quick = false) ?pool () =
   let cs = if quick then [ 1.1; 2.0 ] else [ 1.0; 1.1; 1.5; 2.0; 4.0 ] in
   let rows =
-    List.map
+    pmap ?pool
       (fun c ->
         let r =
           Scenarios.cbr_restart
@@ -644,7 +726,7 @@ let ablation_conservative_c ?(quick = false) () =
     ~columns:[ "C"; "stab time (RTT)"; "stab cost" ]
     rows
 
-let ablation_sawtooth ?(quick = false) () =
+let ablation_sawtooth ?(quick = false) ?pool () =
   (* Section 4.2.1: sawtooth and reverse-sawtooth CBR patterns give
      "essentially the same" TCP-over-TFRC advantage as the square wave,
      only less pronounced.  Compare all three at the periods where the
@@ -659,36 +741,35 @@ let ablation_sawtooth ?(quick = false) () =
     ]
   in
   let rows =
-    List.concat_map
-      (fun period ->
-        List.map
-          (fun (shape_name, shape) ->
-            let r =
-              Scenarios.square_wave ~shape
-                ~measure:(if quick then 60. else 120.)
-                ~flows:[ (tcp, 5); (tfrc, 5) ]
-                ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.) ~period ()
-            in
-            let m_tcp = r.Scenarios.group_mean (Protocol.name tcp) in
-            let m_tfrc = r.Scenarios.group_mean (Protocol.name tfrc) in
-            [
-              fnum period;
-              shape_name;
-              fnum m_tcp;
-              fnum m_tfrc;
-              fnum (m_tcp /. Float.max 0.01 m_tfrc);
-            ])
-          shapes)
-      periods
+    pmap ?pool
+      (fun (period, (shape_name, shape)) ->
+        let r =
+          Scenarios.square_wave ~shape
+            ~measure:(if quick then 60. else 120.)
+            ~flows:[ (tcp, 5); (tfrc, 5) ]
+            ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.) ~period ()
+        in
+        let m_tcp = r.Scenarios.group_mean (Protocol.name tcp) in
+        let m_tfrc = r.Scenarios.group_mean (Protocol.name tfrc) in
+        [
+          fnum period;
+          shape_name;
+          fnum m_tcp;
+          fnum m_tfrc;
+          fnum (m_tcp /. Float.max 0.01 m_tfrc);
+        ])
+      (List.concat_map
+         (fun period -> List.map (fun shape -> (period, shape)) shapes)
+         periods)
   in
   Table.make ~id:"ablation-sawtooth"
     ~title:"TCP vs TFRC(6) under square, sawtooth and reverse-sawtooth CBR"
     ~columns:[ "period(s)"; "shape"; "TCP"; "TFRC(6)"; "TCP/TFRC" ]
     rows
 
-let ablation_droptail ?(quick = false) () =
+let ablation_droptail ?(quick = false) ?pool () =
   let sweep =
-    stabilization_sweep ~queue:Netsim.Dumbbell.Droptail ~quick:true ()
+    stabilization_sweep ~queue:Netsim.Dumbbell.Droptail ?pool ~quick:true ()
   in
   ignore quick;
   let _, cost = stab_tables ~id_time:"x" ~id_cost:"ablation-droptail"
@@ -701,7 +782,7 @@ let ablation_droptail ?(quick = false) () =
    ratio of a short-RTT and a long-RTT flow of each protocol sharing one
    bottleneck; TCP's known bias is roughly RTT^-1..-2, while rate-based
    TFRC follows its equation's 1/R dependence. *)
-let ablation_rtt_fairness ?(quick = false) () =
+let ablation_rtt_fairness ?(quick = false) ?pool () =
   let protocols =
     if quick then [ ("TCP", Protocol.tcp ~gamma:2.) ]
     else
@@ -713,7 +794,7 @@ let ablation_rtt_fairness ?(quick = false) () =
       ]
   in
   let rows =
-    List.map
+    pmap ?pool
       (fun (name, p) ->
         let env = Scenarios.make_env ~seed:31 ~bandwidth:10e6 () in
         (* Base RTT 50 ms vs 150 ms (extra 25 ms per edge link). *)
@@ -738,10 +819,10 @@ let ablation_rtt_fairness ?(quick = false) () =
 (* Binomial l-sweep (extension): k + l = 1 keeps TCP-compatibility; smaller
    l is more slowly-responsive (Section 2).  Sweep l and report smoothness
    under the mild bursty pattern and f(20) after a bandwidth doubling. *)
-let ablation_binomial_l ?(quick = false) () =
+let ablation_binomial_l ?(quick = false) ?pool () =
   let ls = if quick then [ 0.; 1. ] else [ 0.; 0.25; 0.5; 0.75; 1. ] in
   let rows =
-    List.map
+    pmap ?pool
       (fun l ->
         let k = 1. -. l in
         let b =
@@ -801,7 +882,7 @@ let ablation_binomial_l ?(quick = false) () =
 (* Section 4.2.1's stronger claim: under 10:1 oscillations the TCP-over-
    TFRC throughput advantage is "significantly more prominent" than under
    3:1.  Compare the two directly at the worst-case periods. *)
-let ablation_10to1_fairness ?(quick = false) () =
+let ablation_10to1_fairness ?(quick = false) ?pool () =
   let periods = if quick then [ 4. ] else [ 1.; 4.; 16. ] in
   let tcp = Protocol.tcp ~gamma:2. and tfrc = Protocol.tfrc ~k:6 () in
   let run ~bandwidth ~cbr_fraction period =
@@ -815,12 +896,28 @@ let ablation_10to1_fairness ?(quick = false) () =
     let m_tfrc = r.Scenarios.group_mean (Protocol.name tfrc) in
     m_tcp /. Float.max 0.01 m_tfrc
   in
+  (* One job per (period, oscillation depth) run. *)
+  let cells =
+    prun ?pool
+      (List.concat_map
+         (fun period ->
+           [
+             ( (period, `R31),
+               fun () ->
+                 run ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.) period );
+             ( (period, `R101),
+               fun () -> run ~bandwidth:bw_wave_101 ~cbr_fraction:0.9 period );
+           ])
+         periods)
+  in
   let rows =
     List.map
       (fun period ->
-        let r31 = run ~bandwidth:bw_wave_31 ~cbr_fraction:(2. /. 3.) period in
-        let r101 = run ~bandwidth:bw_wave_101 ~cbr_fraction:0.9 period in
-        [ fnum period; fnum r31; fnum r101 ])
+        [
+          fnum period;
+          fnum (List.assoc (period, `R31) cells);
+          fnum (List.assoc (period, `R101) cells);
+        ])
       periods
   in
   Table.make ~id:"ablation-10to1-fairness"
@@ -833,7 +930,7 @@ let ablation_10to1_fairness ?(quick = false) () =
    occupancy and variability of the bottleneck queue when all flows use
    one protocol, under RED and droptail.  SlowCC's gentler rate changes
    should show as a steadier queue. *)
-let ablation_queue_dynamics ?(quick = false) () =
+let ablation_queue_dynamics ?(quick = false) ?pool () =
   let protocols =
     if quick then [ ("TCP", Protocol.tcp ~gamma:2.) ]
     else
@@ -845,11 +942,9 @@ let ablation_queue_dynamics ?(quick = false) () =
   in
   let queues = [ ("RED", Netsim.Dumbbell.Red); ("droptail", Netsim.Dumbbell.Droptail) ] in
   let rows =
-    List.concat_map
-      (fun (qname, queue) ->
-        List.map
-          (fun (pname, p) ->
-            let env = Scenarios.make_env ~seed:23 ~queue ~bandwidth:10e6 () in
+    pmap ?pool
+      (fun ((qname, queue), (pname, p)) ->
+        let env = Scenarios.make_env ~seed:23 ~queue ~bandwidth:10e6 () in
             let flows = List.init 8 (fun _ -> Protocol.spawn p env.Scenarios.db) in
             List.iter (fun (f : Cc.Flow.t) -> f.Cc.Flow.start ()) flows;
             let link = Netsim.Dumbbell.bottleneck env.Scenarios.db in
@@ -869,8 +964,9 @@ let ablation_queue_dynamics ?(quick = false) () =
               fnum (Engine.Stats.stddev stats);
               fnum (Engine.Stats.cov stats);
             ])
-          protocols)
-      queues
+      (List.concat_map
+         (fun q -> List.map (fun p -> (q, p)) protocols)
+         queues)
   in
   Table.make ~id:"ablation-queue-dynamics"
     ~title:"Bottleneck queue occupancy, 8 identical flows, 10 Mbps"
@@ -891,41 +987,41 @@ let names =
     "ablation-queue-dynamics"; "ablation-10to1-fairness";
   ]
 
-let run_by_name ?(quick = false) name =
+let run_by_name ?(quick = false) ?pool name =
   match name with
-  | "fig3" -> Some [ fig3 ~quick () ]
+  | "fig3" -> Some [ fig3 ~quick ?pool () ]
   | "fig4" | "fig5" ->
-    let t4, t5 = fig4_fig5 ~quick () in
+    let t4, t5 = fig4_fig5 ~quick ?pool () in
     Some [ t4; t5 ]
-  | "fig6" -> Some [ fig6 ~quick () ]
-  | "fig7" -> Some [ fig7 ~quick () ]
-  | "fig8" -> Some [ fig8 ~quick () ]
-  | "fig9" -> Some [ fig9 ~quick () ]
-  | "fig10" -> Some [ fig10 ~quick () ]
-  | "fig11" -> Some [ fig11 ~quick () ]
-  | "fig12" -> Some [ fig12 ~quick () ]
-  | "fig13" -> Some [ fig13 ~quick () ]
+  | "fig6" -> Some [ fig6 ~quick ?pool () ]
+  | "fig7" -> Some [ fig7 ~quick ?pool () ]
+  | "fig8" -> Some [ fig8 ~quick ?pool () ]
+  | "fig9" -> Some [ fig9 ~quick ?pool () ]
+  | "fig10" -> Some [ fig10 ~quick ?pool () ]
+  | "fig11" -> Some [ fig11 ~quick ?pool () ]
+  | "fig12" -> Some [ fig12 ~quick ?pool () ]
+  | "fig13" -> Some [ fig13 ~quick ?pool () ]
   | "fig14" | "fig15" ->
-    let t14, t15 = fig14_fig15 ~quick () in
+    let t14, t15 = fig14_fig15 ~quick ?pool () in
     Some [ t14; t15 ]
-  | "fig16" -> Some [ fig16 ~quick () ]
-  | "fig17" -> Some [ fig17 ~quick () ]
-  | "fig18" -> Some [ fig18 ~quick () ]
-  | "fig19" -> Some [ fig19 ~quick () ]
-  | "fig20" -> Some [ fig20 ~quick () ]
-  | "table-transient" -> Some [ Transient.table ~quick () ]
-  | "ablation-self-clocking" -> Some [ ablation_self_clocking ~quick () ]
-  | "ablation-conservative-c" -> Some [ ablation_conservative_c ~quick () ]
-  | "ablation-droptail" -> Some [ ablation_droptail ~quick () ]
-  | "ablation-sawtooth" -> Some [ ablation_sawtooth ~quick () ]
-  | "ablation-response-sim" -> Some [ ablation_response_sim ~quick () ]
-  | "ablation-rtt-fairness" -> Some [ ablation_rtt_fairness ~quick () ]
-  | "ablation-binomial-l" -> Some [ ablation_binomial_l ~quick () ]
-  | "ablation-queue-dynamics" -> Some [ ablation_queue_dynamics ~quick () ]
-  | "ablation-10to1-fairness" -> Some [ ablation_10to1_fairness ~quick () ]
+  | "fig16" -> Some [ fig16 ~quick ?pool () ]
+  | "fig17" -> Some [ fig17 ~quick ?pool () ]
+  | "fig18" -> Some [ fig18 ~quick ?pool () ]
+  | "fig19" -> Some [ fig19 ~quick ?pool () ]
+  | "fig20" -> Some [ fig20 ~quick ?pool () ]
+  | "table-transient" -> Some [ Transient.table ~quick ?pool () ]
+  | "ablation-self-clocking" -> Some [ ablation_self_clocking ~quick ?pool () ]
+  | "ablation-conservative-c" -> Some [ ablation_conservative_c ~quick ?pool () ]
+  | "ablation-droptail" -> Some [ ablation_droptail ~quick ?pool () ]
+  | "ablation-sawtooth" -> Some [ ablation_sawtooth ~quick ?pool () ]
+  | "ablation-response-sim" -> Some [ ablation_response_sim ~quick ?pool () ]
+  | "ablation-rtt-fairness" -> Some [ ablation_rtt_fairness ~quick ?pool () ]
+  | "ablation-binomial-l" -> Some [ ablation_binomial_l ~quick ?pool () ]
+  | "ablation-queue-dynamics" -> Some [ ablation_queue_dynamics ~quick ?pool () ]
+  | "ablation-10to1-fairness" -> Some [ ablation_10to1_fairness ~quick ?pool () ]
   | _ -> None
 
-let all ?emit ?(quick = false) () =
+let all ?emit ?(quick = false) ?pool () =
   let acc = ref [] in
   let push table =
     (match emit with Some f -> f table | None -> ());
@@ -935,30 +1031,30 @@ let all ?emit ?(quick = false) () =
     push a;
     push b
   in
-  push (fig3 ~quick ());
-  push2 (fig4_fig5 ~quick ());
-  push (fig6 ~quick ());
-  push (fig7 ~quick ());
-  push (fig8 ~quick ());
-  push (fig9 ~quick ());
-  push (fig10 ~quick ());
-  push (fig11 ~quick ());
-  push (fig12 ~quick ());
-  push (fig13 ~quick ());
-  push2 (fig14_fig15 ~quick ());
-  push (fig16 ~quick ());
-  push (fig17 ~quick ());
-  push (fig18 ~quick ());
-  push (fig19 ~quick ());
-  push (fig20 ~quick ());
-  push (Transient.table ~quick ());
-  push (ablation_self_clocking ~quick ());
-  push (ablation_conservative_c ~quick ());
-  push (ablation_droptail ~quick ());
-  push (ablation_sawtooth ~quick ());
-  push (ablation_response_sim ~quick ());
-  push (ablation_rtt_fairness ~quick ());
-  push (ablation_binomial_l ~quick ());
-  push (ablation_queue_dynamics ~quick ());
-  push (ablation_10to1_fairness ~quick ());
+  push (fig3 ~quick ?pool ());
+  push2 (fig4_fig5 ~quick ?pool ());
+  push (fig6 ~quick ?pool ());
+  push (fig7 ~quick ?pool ());
+  push (fig8 ~quick ?pool ());
+  push (fig9 ~quick ?pool ());
+  push (fig10 ~quick ?pool ());
+  push (fig11 ~quick ?pool ());
+  push (fig12 ~quick ?pool ());
+  push (fig13 ~quick ?pool ());
+  push2 (fig14_fig15 ~quick ?pool ());
+  push (fig16 ~quick ?pool ());
+  push (fig17 ~quick ?pool ());
+  push (fig18 ~quick ?pool ());
+  push (fig19 ~quick ?pool ());
+  push (fig20 ~quick ?pool ());
+  push (Transient.table ~quick ?pool ());
+  push (ablation_self_clocking ~quick ?pool ());
+  push (ablation_conservative_c ~quick ?pool ());
+  push (ablation_droptail ~quick ?pool ());
+  push (ablation_sawtooth ~quick ?pool ());
+  push (ablation_response_sim ~quick ?pool ());
+  push (ablation_rtt_fairness ~quick ?pool ());
+  push (ablation_binomial_l ~quick ?pool ());
+  push (ablation_queue_dynamics ~quick ?pool ());
+  push (ablation_10to1_fairness ~quick ?pool ());
   List.rev !acc

@@ -6,65 +6,71 @@
     but absolute values get noisier.
 
     Figures 1 and 2 of the paper are illustrative diagrams with no data.
-    Figure pairs sharing simulations are computed together (4+5, 14+15). *)
+    Figure pairs sharing simulations are computed together (4+5, 14+15).
 
-val fig3 : ?quick:bool -> unit -> Table.t
-val fig4_fig5 : ?quick:bool -> unit -> Table.t * Table.t
-val fig6 : ?quick:bool -> unit -> Table.t
-val fig7 : ?quick:bool -> unit -> Table.t
-val fig8 : ?quick:bool -> unit -> Table.t
-val fig9 : ?quick:bool -> unit -> Table.t
-val fig10 : ?quick:bool -> unit -> Table.t
-val fig11 : ?quick:bool -> unit -> Table.t
-val fig12 : ?quick:bool -> unit -> Table.t
-val fig13 : ?quick:bool -> unit -> Table.t
-val fig14_fig15 : ?quick:bool -> unit -> Table.t * Table.t
-val fig16 : ?quick:bool -> unit -> Table.t
-val fig17 : ?quick:bool -> unit -> Table.t
-val fig18 : ?quick:bool -> unit -> Table.t
-val fig19 : ?quick:bool -> unit -> Table.t
-val fig20 : ?quick:bool -> unit -> Table.t
+    Every sweep is a list of closed, independently-seeded simulation jobs;
+    passing [pool] fans the jobs out across that pool's worker domains
+    (see {!Engine.Pool}).  Results are reassembled in deterministic order,
+    so each table is bit-identical for any worker count. *)
+
+val fig3 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig4_fig5 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t * Table.t
+val fig6 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig7 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig8 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig9 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig10 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig11 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig12 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig13 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig14_fig15 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t * Table.t
+val fig16 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig17 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig18 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig19 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+val fig20 : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** Ablations beyond the paper's figures. *)
 
 (** Self-clocking on/off across gamma for TFRC — isolates the effect the
     paper attributes to packet conservation. *)
-val ablation_self_clocking : ?quick:bool -> unit -> Table.t
+val ablation_self_clocking : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** Sweep of the conservative option's C constant. *)
-val ablation_conservative_c : ?quick:bool -> unit -> Table.t
+val ablation_conservative_c : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** Droptail instead of RED for the Figure 4/5 scenario (the paper notes
     the self-clocking benefit holds under droptail too). *)
-val ablation_droptail : ?quick:bool -> unit -> Table.t
+val ablation_droptail : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** TCP-vs-TFRC fairness under square, sawtooth and reverse-sawtooth CBR
     shapes (Section 4.2.1's in-text claim). *)
-val ablation_sawtooth : ?quick:bool -> unit -> Table.t
+val ablation_sawtooth : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** Measured TCP throughput under random loss across the whole loss range,
     against the Figure 20 analytic bounds (Appendix A validation). *)
-val ablation_response_sim : ?quick:bool -> unit -> Table.t
+val ablation_response_sim : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** Throughput bias between a 50 ms and a 150 ms flow of each protocol. *)
-val ablation_rtt_fairness : ?quick:bool -> unit -> Table.t
+val ablation_rtt_fairness : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** Smoothness/throughput sweep of the binomial family along k + l = 1. *)
-val ablation_binomial_l : ?quick:bool -> unit -> Table.t
+val ablation_binomial_l : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** Queue occupancy statistics per protocol under RED and droptail. *)
-val ablation_queue_dynamics : ?quick:bool -> unit -> Table.t
+val ablation_queue_dynamics : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** TCP/TFRC throughput ratio under 3:1 vs 10:1 oscillations. *)
-val ablation_10to1_fairness : ?quick:bool -> unit -> Table.t
+val ablation_10to1_fairness : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
 (** All experiment tables in figure order (ablations included last).
     [emit] is called on each table as soon as it is computed, for
     streaming output during long runs. *)
-val all : ?emit:(Table.t -> unit) -> ?quick:bool -> unit -> Table.t list
+val all : ?emit:(Table.t -> unit) -> ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t list
 
 (** Names accepted by {!run_by_name}. *)
 val names : string list
 
 (** Run one experiment by id ("fig3" ... "fig20", "ablation-..."). *)
-val run_by_name : ?quick:bool -> string -> Table.t list option
+val run_by_name :
+  ?quick:bool -> ?pool:Engine.Pool.t -> string -> Table.t list option

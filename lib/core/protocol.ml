@@ -55,16 +55,26 @@ let name = function
     Printf.sprintf "TFRC(%d)%s" k (if conservative then "+SC" else "")
   | Tear rounds -> Printf.sprintf "TEAR(%d)" rounds
 
-(* Binomial calibration is deterministic and pure; memoize per gamma. *)
+(* Binomial calibration is deterministic and pure; memoize per gamma.
+   The caches are shared across domains when scenarios run on a worker
+   pool, so guard them with a mutex — the cached value is a pure function
+   of the key, hence any interleaving yields identical results. *)
+let cache_mutex = Mutex.create ()
 let sqrt_cache : (float, float * float) Hashtbl.t = Hashtbl.create 8
 let iiad_cache : (float, float * float) Hashtbl.t = Hashtbl.create 8
 
 let memo cache f gamma =
+  Mutex.lock cache_mutex;
   match Hashtbl.find_opt cache gamma with
-  | Some v -> v
+  | Some v ->
+    Mutex.unlock cache_mutex;
+    v
   | None ->
+    Mutex.unlock cache_mutex;
     let v = f ~gamma () in
+    Mutex.lock cache_mutex;
     Hashtbl.replace cache gamma v;
+    Mutex.unlock cache_mutex;
     v
 
 let window_rule = function

@@ -252,8 +252,8 @@ let square_wave ?(seed = 1) ?(shape = Square) ?measure ~flows ~bandwidth
 (* Transient fairness (Figures 10, 12)                                 *)
 (* ------------------------------------------------------------------ *)
 
-let fair_convergence ?(seed = 1) ?(n_trials = 3) ?(cap = 600.) ?(delta = 0.1)
-    ~protocol ~bandwidth () =
+let fair_convergence ?(seed = 1) ?pool ?(n_trials = 3) ?(cap = 600.)
+    ?(delta = 0.1) ~protocol ~bandwidth () =
   let t_join = 40. in
   let one_trial seed =
     let env = make_env ~seed ~bandwidth () in
@@ -273,11 +273,15 @@ let fair_convergence ?(seed = 1) ?(n_trials = 3) ?(cap = 600.) ?(delta = 0.1)
     Engine.Sim.run ~until:(t_join +. cap) env.sim;
     Metrics.fair_convergence ~rate1:r1 ~rate2:r2 ~t_start:t_join ~delta
   in
-  let times =
-    List.filter_map
-      (fun i -> one_trial (seed + (1000 * i)))
-      (List.init n_trials Fun.id)
+  (* Each trial is a closed job with its own seed; running them on a pool
+     changes wall clock only, never the per-trial results. *)
+  let trial_seeds = List.init n_trials (fun i -> seed + (1000 * i)) in
+  let outcomes =
+    match pool with
+    | None -> List.map one_trial trial_seeds
+    | Some pool -> Engine.Pool.map_list pool one_trial trial_seeds
   in
+  let times = List.filter_map Fun.id outcomes in
   match times with
   | [] -> (cap, 0)
   | _ ->

@@ -98,9 +98,12 @@ val square_wave :
 (** Two flows of [protocol]: the first owns the link, the second starts at
     a running point; returns the delta-fair convergence time in seconds
     averaged over [n_trials] seeds, and the number of trials that
-    converged within the cap. *)
+    converged within the cap.  Trials are independent, seeded jobs; when
+    [pool] is given they run on its worker domains (results are identical
+    either way). *)
 val fair_convergence :
   ?seed:int ->
+  ?pool:Engine.Pool.t ->
   ?n_trials:int ->
   ?cap:float ->
   ?delta:float ->

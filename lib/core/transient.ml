@@ -83,7 +83,7 @@ let paper_protocols =
     ("TEAR(8)", Protocol.tear ~rounds:8);
   ]
 
-let table ?(quick = false) () =
+let table ?(quick = false) ?pool () =
   let protocols =
     if quick then
       List.filter
@@ -91,17 +91,21 @@ let table ?(quick = false) () =
         paper_protocols
     else paper_protocols
   in
+  (* Both metrics of one protocol form one closed job; the sweep over
+     protocols fans out on the pool. *)
+  let row (name, p) =
+    let resp =
+      match responsiveness p with
+      | Some r -> Table.fnum r
+      | None -> ">2000"
+    in
+    let aggr = aggressiveness p in
+    [ name; resp; Table.fnum aggr ]
+  in
   let rows =
-    List.map
-      (fun (name, p) ->
-        let resp =
-          match responsiveness p with
-          | Some r -> Table.fnum r
-          | None -> ">2000"
-        in
-        let aggr = aggressiveness p in
-        [ name; resp; Table.fnum aggr ])
-      protocols
+    match pool with
+    | None -> List.map row protocols
+    | Some pool -> Engine.Pool.map_list pool row protocols
   in
   Table.make ~id:"table-transient"
     ~title:"Responsiveness and aggressiveness (Section 3 definitions)"

@@ -20,5 +20,7 @@ val responsiveness :
     outside slow-start. *)
 val aggressiveness : ?seed:int -> ?bandwidth:float -> Protocol.t -> float
 
-(** Table of both metrics across the paper's protocols. *)
-val table : ?quick:bool -> unit -> Table.t
+(** Table of both metrics across the paper's protocols.  The per-protocol
+    measurements are independent jobs; [pool] fans them out across worker
+    domains without changing the results. *)
+val table : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t

@@ -13,9 +13,21 @@ val add : 'a t -> time:float -> 'a -> unit
 (** Remove and return the earliest event, or [None] if empty. *)
 val pop : 'a t -> (float * 'a) option
 
+(** Allocation-free variant of {!pop}: remove and return the earliest
+    event's value.  Raises [Invalid_argument] on an empty heap; read
+    {!min_time} first for the timestamp. *)
+val take : 'a t -> 'a
+
+(** Earliest event time without removing it, [Float.nan] if empty.  The
+    allocation-free counterpart of {!peek_time}. *)
+val min_time : 'a t -> float
+
 (** Earliest event time without removing it. *)
 val peek_time : 'a t -> float option
 
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
+(** Drop all events.  Vacated slots are overwritten so the GC can reclaim
+    the dropped payloads immediately. *)
 val clear : 'a t -> unit

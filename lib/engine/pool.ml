@@ -1,0 +1,124 @@
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  pending : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set in every worker domain so that nested batch submissions (a job that
+   itself calls [map_list]) run inline instead of deadlocking the pool. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+let clamp_jobs jobs = min 128 (max 1 jobs)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.pending && not t.closing do
+    Condition.wait t.has_work t.mutex
+  done;
+  if Queue.is_empty t.pending then Mutex.unlock t.mutex
+  else begin
+    let job = Queue.pop t.pending in
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  let jobs = clamp_jobs jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      pending = Queue.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <-
+      List.init jobs (fun _ ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker true;
+              worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+type 'r cell = Pending | Done of 'r | Failed of exn * Printexc.raw_backtrace
+
+(* Run an array of thunks, returning results in index order.  Results land
+   in distinct array slots; the batch mutex both counts completions and
+   publishes the slot writes to the waiting submitter. *)
+let run_array t thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else if t.jobs <= 1 || Domain.DLS.get in_worker then
+    Array.map (fun f -> f ()) thunks
+  else begin
+    let results = Array.make n Pending in
+    let remaining = ref n in
+    let batch_mutex = Mutex.create () in
+    let batch_done = Condition.create () in
+    Mutex.lock t.mutex;
+    if t.closing then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool: submission after shutdown"
+    end;
+    Array.iteri
+      (fun i f ->
+        Queue.add
+          (fun () ->
+            let r =
+              try Done (f ())
+              with e -> Failed (e, Printexc.get_raw_backtrace ())
+            in
+            results.(i) <- r;
+            Mutex.lock batch_mutex;
+            decr remaining;
+            if !remaining = 0 then Condition.signal batch_done;
+            Mutex.unlock batch_mutex)
+          t.pending)
+      thunks;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    Mutex.lock batch_mutex;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_mutex
+    done;
+    Mutex.unlock batch_mutex;
+    Array.map
+      (function
+        | Done v -> v
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending -> assert false)
+      results
+  end
+
+let map_list t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.to_list (run_array t (Array.map (fun x () -> f x) arr))
+
+let run_jobs t kjobs =
+  let results = run_array t (Array.of_list (List.map snd kjobs)) in
+  List.mapi (fun i (k, _) -> (k, results.(i))) kjobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,50 @@
+(** Fixed-size pool of worker domains with a shared job queue.
+
+    Built directly on [Domain]/[Mutex]/[Condition] (no external
+    dependency).  The pool executes batches of independent jobs and
+    reassembles results in submission order, so a caller that seeds each
+    job deterministically gets bit-identical results regardless of the
+    worker count.
+
+    Semantics:
+    - [jobs = 1] is the degenerate case: no domains are spawned and every
+      job runs inline in the submitting domain.
+    - Batches submitted from inside a worker (nested use) run inline in
+      that worker, which makes reentrant use deadlock-free.
+    - If a job raises, the remaining jobs of the batch still run; the
+      batch call then re-raises the exception of the lowest-indexed
+      failed job with its original backtrace. *)
+
+type t
+
+(** Sensible default worker count for this machine:
+    [Domain.recommended_domain_count ()], at least 1. *)
+val default_jobs : unit -> int
+
+(** [clamp_jobs n] is [n] clamped to the range [create] accepts
+    (1 to 128). *)
+val clamp_jobs : int -> int
+
+(** [create ~jobs] spawns [clamp_jobs jobs] worker domains when the
+    result exceeds 1, none otherwise; the submitting domain itself only
+    waits on batches.  *)
+val create : jobs:int -> t
+
+(** Worker count the pool was created with (>= 1). *)
+val jobs : t -> int
+
+(** [map_list t f xs] applies [f] to every element of [xs] on the pool and
+    returns the results in the order of [xs]. *)
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run_jobs t jobs] runs a keyed batch of thunks and returns
+    [(key, result)] pairs in submission order. *)
+val run_jobs : t -> ('k * (unit -> 'r)) list -> ('k * 'r) list
+
+(** Signal workers to finish and join them.  Idempotent.  Submitting new
+    batches after [shutdown] raises [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] creates a pool, passes it to [f] and shuts the
+    pool down afterwards, also on exception. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

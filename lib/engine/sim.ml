@@ -18,7 +18,7 @@ let at t time f =
       (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time t.now);
   Event_heap.add t.heap ~time f
 
-let after t delay f = at t (t.now +. delay) f
+let[@inline] after t delay f = at t (t.now +. delay) f
 
 let at_cancellable t time f =
   let handle = { live = true } in
@@ -38,11 +38,13 @@ let pending handle = handle.live
 
 let every ?(stop = Float.infinity) t ~interval f =
   if interval <= 0. then invalid_arg "Sim.every: non-positive interval";
+  (* One recursive closure per [every] call; each tick reschedules the
+     same closure, so steady-state ticking allocates nothing. *)
   let rec tick () =
     if t.now <= stop then begin
       f ();
       let next = t.now +. interval in
-      if next <= stop then at t next tick
+      if next <= stop then Event_heap.add t.heap ~time:next tick
     end
   in
   let first = t.now +. interval in
@@ -52,23 +54,28 @@ let stop t = t.running <- false
 
 let run ?(until = Float.infinity) t =
   t.running <- true;
+  (* The drain loop uses [min_time]/[take] rather than [peek_time]/[pop]:
+     no [Some]/tuple allocation per event. *)
   let rec loop () =
-    if t.running then
-      match Event_heap.peek_time t.heap with
-      | None -> t.running <- false
-      | Some time when time > until ->
-        (* Leave the event in the heap so the simulation can resume from
-           this clock later; park the clock at the horizon. *)
-        t.now <- until;
-        t.running <- false
-      | Some _ ->
-        (match Event_heap.pop t.heap with
-        | Some (time, f) ->
+    if t.running then begin
+      if Event_heap.is_empty t.heap then t.running <- false
+      else begin
+        let time = Event_heap.min_time t.heap in
+        if time > until then begin
+          (* Leave the event in the heap so the simulation can resume from
+             this clock later; park the clock at the horizon. *)
+          t.now <- until;
+          t.running <- false
+        end
+        else begin
+          let f = Event_heap.take t.heap in
           t.now <- time;
           t.processed <- t.processed + 1;
-          f ()
-        | None -> t.running <- false);
-        loop ()
+          f ();
+          loop ()
+        end
+      end
+    end
   in
   loop ();
   if Event_heap.is_empty t.heap && t.now < until && Float.is_finite until then

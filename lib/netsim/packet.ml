@@ -30,12 +30,15 @@ type t = {
   mutable ecn : bool;
 }
 
-let uid_counter = ref 0
+(* Atomic so that simulations running on parallel domains (Engine.Pool)
+   still mint unique uids.  Uids only label packets for tracing/printing;
+   no simulation logic depends on their values. *)
+let uid_counter = Atomic.make 0
 
 let make ?(size = 1000) ?(seq = 0) ?(payload = Plain) ~flow ~src ~dst ~sent_at
     () =
-  incr uid_counter;
-  { uid = !uid_counter; flow; src; dst; size; seq; sent_at; payload; ecn = false }
+  let uid = 1 + Atomic.fetch_and_add uid_counter 1 in
+  { uid; flow; src; dst; size; seq; sent_at; payload; ecn = false }
 
 let is_ack t =
   match t.payload with
@@ -46,4 +49,4 @@ let pp fmt t =
   Format.fprintf fmt "pkt#%d flow=%d %d->%d seq=%d size=%d" t.uid t.flow t.src
     t.dst t.seq t.size
 
-let reset_uids () = uid_counter := 0
+let reset_uids () = Atomic.set uid_counter 0

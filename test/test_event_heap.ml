@@ -52,6 +52,31 @@ let test_clear () =
   Engine.Event_heap.clear h;
   Alcotest.(check bool) "cleared" true (Engine.Event_heap.is_empty h)
 
+let test_take_min_time () =
+  let h = Engine.Event_heap.create () in
+  Alcotest.(check bool) "min_time empty is nan" true
+    (Float.is_nan (Engine.Event_heap.min_time h));
+  Alcotest.check_raises "take empty" (Invalid_argument "Event_heap.take: empty heap")
+    (fun () -> ignore (Engine.Event_heap.take h));
+  List.iter
+    (fun (t, v) -> Engine.Event_heap.add h ~time:t v)
+    [ (2., "b"); (1., "a"); (3., "c") ];
+  check_float "min_time" 1. (Engine.Event_heap.min_time h);
+  Alcotest.(check string) "take min" "a" (Engine.Event_heap.take h);
+  check_float "min_time after take" 2. (Engine.Event_heap.min_time h);
+  Alcotest.(check string) "take next" "b" (Engine.Event_heap.take h);
+  Alcotest.(check string) "take last" "c" (Engine.Event_heap.take h);
+  Alcotest.(check bool) "empty again" true (Engine.Event_heap.is_empty h)
+
+let test_float_payloads () =
+  (* Payloads of any type, including floats, survive the uniform value
+     array underneath. *)
+  let h = Engine.Event_heap.create () in
+  List.iter (fun t -> Engine.Event_heap.add h ~time:t (t *. 10.)) [ 3.; 1.; 2. ];
+  Alcotest.(check (list (float 0.)))
+    "float values in order" [ 10.; 20.; 30. ]
+    (List.init 3 (fun _ -> Engine.Event_heap.take h))
+
 let test_rejects_nan () =
   let h = Engine.Event_heap.create () in
   Alcotest.check_raises "nan" (Invalid_argument "Event_heap.add: non-finite time")
@@ -101,6 +126,8 @@ let suite =
     Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
     Alcotest.test_case "peek" `Quick test_peek;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "take and min_time" `Quick test_take_min_time;
+    Alcotest.test_case "float payloads" `Quick test_float_payloads;
     Alcotest.test_case "rejects NaN" `Quick test_rejects_nan;
     Alcotest.test_case "growth" `Quick test_growth;
     QCheck_alcotest.to_alcotest prop_pop_sorted;
