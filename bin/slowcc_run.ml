@@ -30,6 +30,37 @@ let jobs_arg =
            recommended domain count; 1 = serial).  Results are identical \
            for any N.")
 
+let out_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write results under $(docv): per-table CSV and/or JSONL plus a \
+           manifest.json recording parameters and content digests.  The \
+           digested portion of the manifest is byte-identical for any \
+           --jobs value.")
+
+let emit_conv =
+  let parse s =
+    match Slowcc.Manifest.emit_of_string s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown format %S (csv|jsonl|both)" s))
+  in
+  let print fmt e =
+    Format.pp_print_string fmt (Slowcc.Manifest.emit_to_string e)
+  in
+  Arg.conv (parse, print)
+
+let emit_arg =
+  Arg.(
+    value
+    & opt emit_conv Slowcc.Manifest.Both
+    & info [ "emit" ] ~docv:"FMT"
+        ~doc:
+          "Table format(s) written under --out-dir: $(b,csv), $(b,jsonl) or \
+           $(b,both) (default).  Ignored without --out-dir.")
+
 let list_cmd =
   let run () =
     List.iter print_endline Slowcc.Experiments.names;
@@ -45,10 +76,20 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig7.")
   in
-  let run verbose quick jobs name =
+  let run verbose quick jobs out_dir emit name =
     setup_logs verbose;
     Engine.Pool.with_pool ~jobs (fun pool ->
-        match Slowcc.Experiments.run_by_name ~quick ~pool name with
+        let result =
+          match out_dir with
+          | None -> Slowcc.Experiments.run_by_name ~quick ~pool name
+          | Some dir ->
+            Slowcc.Experiments.run_to_dir ~quick ~pool ~emit
+              ~now:Unix.gettimeofday ~dir ~jobs name
+            |> Option.map (fun (manifest_path, tables) ->
+                   Format.eprintf "wrote %s@." manifest_path;
+                   tables)
+        in
+        match result with
         | Some tables ->
           List.iter (Slowcc.Table.print fmt) tables;
           0
@@ -58,18 +99,29 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
-    Term.(const run $ verbose_arg $ quick_arg $ jobs_arg $ name_arg)
+    Term.(
+      const run $ verbose_arg $ quick_arg $ jobs_arg $ out_dir_arg $ emit_arg
+      $ name_arg)
 
 let all_cmd =
-  let run quick jobs =
+  let run quick jobs out_dir emit =
     Engine.Pool.with_pool ~jobs (fun pool ->
-        List.iter (Slowcc.Table.print fmt)
-          (Slowcc.Experiments.all ~quick ~pool ()));
+        match out_dir with
+        | None ->
+          List.iter (Slowcc.Table.print fmt)
+            (Slowcc.Experiments.all ~quick ~pool ())
+        | Some dir ->
+          let manifest_path, _tables =
+            Slowcc.Experiments.all_to_dir
+              ~stream:(Slowcc.Table.print fmt)
+              ~quick ~pool ~emit ~now:Unix.gettimeofday ~dir ~jobs ()
+          in
+          Format.eprintf "wrote %s@." manifest_path);
     0
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in figure order")
-    Term.(const run $ quick_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ out_dir_arg $ emit_arg)
 
 let protocol_conv =
   let parse s =

@@ -79,6 +79,12 @@ let flow t =
     bytes_delivered = (fun () -> t.bytes_delivered);
     current_rate = (fun () -> if t.on then t.rate /. 8. else 0.);
     srtt = (fun () -> 0.);
+    stats =
+      Flow.basic_stats
+        ~pkts_sent:(fun () -> t.pkts_sent)
+        ~bytes_sent:(fun () -> t.bytes_sent)
+        ~bytes_delivered:(fun () -> t.bytes_delivered)
+        ~srtt:(fun () -> 0.);
   }
 
 let set_rate t rate =

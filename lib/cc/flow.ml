@@ -1,3 +1,13 @@
+type stats = {
+  sent_pkts : int;
+  sent_bytes : float;
+  delivered_bytes : float;
+  rtx_pkts : int;
+  timeouts : int;
+  fast_rtx : int;
+  stat_srtt : float;
+}
+
 type t = {
   id : int;
   protocol : string;
@@ -8,7 +18,33 @@ type t = {
   bytes_delivered : unit -> float;
   current_rate : unit -> float;
   srtt : unit -> float;
+  stats : unit -> stats;
 }
+
+(* Default stats for rate-based/open-loop transports: loss-recovery
+   counters pinned to zero, the rest read through the flow's closures. *)
+let basic_stats ~pkts_sent ~bytes_sent ~bytes_delivered ~srtt () =
+  {
+    sent_pkts = pkts_sent ();
+    sent_bytes = bytes_sent ();
+    delivered_bytes = bytes_delivered ();
+    rtx_pkts = 0;
+    timeouts = 0;
+    fast_rtx = 0;
+    stat_srtt = srtt ();
+  }
+
+let json_of_stats s =
+  Engine.Json.Obj
+    [
+      ("sent_pkts", Engine.Json.Int s.sent_pkts);
+      ("sent_bytes", Engine.Json.Float s.sent_bytes);
+      ("delivered_bytes", Engine.Json.Float s.delivered_bytes);
+      ("rtx_pkts", Engine.Json.Int s.rtx_pkts);
+      ("timeouts", Engine.Json.Int s.timeouts);
+      ("fast_rtx", Engine.Json.Int s.fast_rtx);
+      ("srtt", Engine.Json.Float s.stat_srtt);
+    ]
 
 let throughput t ~t0 ~t1 ~snapshot0 =
   if t1 <= t0 then invalid_arg "Flow.throughput: empty interval";

@@ -170,6 +170,12 @@ let flow t =
     bytes_delivered = (fun () -> t.bytes_delivered);
     current_rate = (fun () -> rate_pps t *. float_of_int t.cfg.pkt_size);
     srtt = (fun () -> rtt t);
+    stats =
+      Flow.basic_stats
+        ~pkts_sent:(fun () -> t.pkts_sent)
+        ~bytes_sent:(fun () -> t.bytes_sent)
+        ~bytes_delivered:(fun () -> t.bytes_delivered)
+        ~srtt:(fun () -> rtt t);
   }
 
 let window t = t.w

@@ -384,6 +384,12 @@ let flow t =
     bytes_delivered = (fun () -> t.receiver.total_bytes);
     current_rate = (fun () -> t.x *. float_of_int t.cfg.pkt_size);
     srtt = (fun () -> sender_rtt t);
+    stats =
+      Flow.basic_stats
+        ~pkts_sent:(fun () -> t.pkts_sent)
+        ~bytes_sent:(fun () -> t.bytes_sent)
+        ~bytes_delivered:(fun () -> t.receiver.total_bytes)
+        ~srtt:(fun () -> sender_rtt t);
   }
 
 let rate_pps t = t.x

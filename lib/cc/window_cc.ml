@@ -378,7 +378,10 @@ let handle_ack t (pkt : Netsim.Packet.t) =
       if t.cfg.sack then merge_sack t sack;
       if pkt.Netsim.Packet.ecn then on_ecn t;
       if cum_seq > t.snd_una then on_new_ack t cum_seq
-      else if t.snd_una < t.snd_nxt then on_dup_ack t
+      else if cum_seq = t.snd_una && t.snd_una < t.snd_nxt then on_dup_ack t
+      (* cum_seq < snd_una: a stale ack from before a timeout's go-back-N
+         rewind.  It carries no information about the current window and
+         must not count towards the three-dupack threshold. *)
     | Netsim.Packet.Plain | Netsim.Packet.Rap_ack _ | Netsim.Packet.Tfrc_data _
     | Netsim.Packet.Tfrc_fb _ | Netsim.Packet.Tear_fb _ ->
       ()
@@ -456,6 +459,17 @@ let flow t =
           t.cwnd *. float_of_int t.cfg.pkt_size /. t.srtt
         else 0.);
     srtt = (fun () -> t.srtt);
+    stats =
+      (fun () ->
+        {
+          Flow.sent_pkts = t.pkts_sent;
+          sent_bytes = t.bytes_sent;
+          delivered_bytes = Sink.bytes_received t.sink;
+          rtx_pkts = t.n_rtx_pkts;
+          timeouts = t.n_timeouts;
+          fast_rtx = t.n_fast_rtx;
+          stat_srtt = t.srtt;
+        });
   }
 
 let cwnd t = t.cwnd

@@ -1058,3 +1058,62 @@ let all ?emit ?(quick = false) ?pool () =
   push (ablation_queue_dynamics ~quick ?pool ());
   push (ablation_10to1_fairness ~quick ?pool ());
   List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Manifested runs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Scenario parameters recorded in run manifests.  Only the knobs that
+   shape the named experiment are listed — everything else is a fixed
+   constant of the scenario code, already pinned by the table digests. *)
+let params ?(quick = false) name =
+  let open Engine.Json in
+  let floats xs = List (List.map (fun v -> Float v) xs) in
+  let bw v = ("bandwidth_bps", Float v) in
+  match name with
+  | "fig3" -> [ bw bw_restart ]
+  | "fig4" | "fig5" -> [ bw bw_restart; ("gammas", floats (gamma_sweep quick)) ]
+  | "fig6" -> [ bw bw_flash ]
+  | "fig7" | "fig8" | "fig9" ->
+    [ bw bw_wave_31; ("cbr_fraction", Float (2. /. 3.)) ]
+  | "fig10" | "fig12" -> [ bw bw_fair ]
+  | "fig11" | "fig20" -> [ ("analytic", Bool true) ]
+  | "fig13" -> [ bw bw_double ]
+  | "fig14" | "fig15" -> [ bw bw_wave_31 ]
+  | "fig16" -> [ bw bw_wave_101; ("cbr_fraction", Float 0.9) ]
+  | "fig17" | "fig18" | "fig19" -> [ bw bw_pattern ]
+  | "ablation-self-clocking" | "ablation-conservative-c" -> [ bw bw_restart ]
+  | "ablation-droptail" ->
+    [ ("queue", String "droptail"); ("gammas", floats gammas_quick) ]
+  | "ablation-sawtooth" ->
+    [ bw bw_wave_31; ("cbr_fraction", Float (2. /. 3.)) ]
+  | "ablation-10to1-fairness" ->
+    [ ("bandwidths_bps", floats [ bw_wave_31; bw_wave_101 ]) ]
+  | _ -> []
+
+(* [now] supplies the wall clock for the manifest's (non-digested) timing
+   section; it defaults to [Sys.time] so the core library stays free of a
+   unix dependency — the CLI passes a real wall clock. *)
+let run_to_dir ?(quick = false) ?pool ?(emit = Manifest.Both)
+    ?(now = Sys.time) ~dir ~jobs name =
+  let t0 = now () in
+  match run_by_name ~quick ?pool name with
+  | None -> None
+  | Some tables ->
+    let wall_s = now () -. t0 in
+    let manifest_path =
+      Manifest.write ~dir ~experiment:name ~quick
+        ~params:(params ~quick name) ~emit ~jobs ~wall_s tables
+    in
+    Some (manifest_path, tables)
+
+let all_to_dir ?stream ?(quick = false) ?pool ?(emit = Manifest.Both)
+    ?(now = Sys.time) ~dir ~jobs () =
+  let t0 = now () in
+  let tables = all ?emit:stream ~quick ?pool () in
+  let wall_s = now () -. t0 in
+  let manifest_path =
+    Manifest.write ~dir ~experiment:"all" ~quick ~params:[] ~emit ~jobs
+      ~wall_s tables
+  in
+  (manifest_path, tables)

@@ -74,3 +74,36 @@ val names : string list
 (** Run one experiment by id ("fig3" ... "fig20", "ablation-..."). *)
 val run_by_name :
   ?quick:bool -> ?pool:Engine.Pool.t -> string -> Table.t list option
+
+(** Scenario parameters recorded in a run manifest for the named
+    experiment (empty for unknown names and parameter-free tables). *)
+val params : ?quick:bool -> string -> (string * Engine.Json.t) list
+
+(** [run_to_dir ~dir ~jobs name] runs the experiment and writes its
+    tables (per [emit], default [Both]) plus [dir/manifest.json]; returns
+    the manifest path and the tables, or [None] for an unknown name.
+    [jobs] is recorded in the manifest's timing section only — it does not
+    create a pool; pass [pool] for parallel sweeps.  [now] supplies the
+    wall clock for the timing section (defaults to [Sys.time]). *)
+val run_to_dir :
+  ?quick:bool ->
+  ?pool:Engine.Pool.t ->
+  ?emit:Manifest.emit ->
+  ?now:(unit -> float) ->
+  dir:string ->
+  jobs:int ->
+  string ->
+  (string * Table.t list) option
+
+(** Like {!run_to_dir} for the full suite under experiment id "all".
+    [stream] is invoked on each table as soon as it is computed. *)
+val all_to_dir :
+  ?stream:(Table.t -> unit) ->
+  ?quick:bool ->
+  ?pool:Engine.Pool.t ->
+  ?emit:Manifest.emit ->
+  ?now:(unit -> float) ->
+  dir:string ->
+  jobs:int ->
+  unit ->
+  string * Table.t list

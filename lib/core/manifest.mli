@@ -1,0 +1,68 @@
+(** Run manifests: a machine-readable record of what an experiment run
+    produced.  Each run directory gets a [manifest.json] describing the
+    experiment, its parameters and per-table content digests, plus the
+    tables themselves as CSV and/or JSONL.
+
+    The manifest separates the {e run} section (what was computed — must
+    be byte-identical at any [--jobs N]) from the {e timing} section
+    (wall-clock and worker count, which legitimately vary).  The
+    top-level [digest] field is the MD5 of the serialized run section. *)
+
+type emit = Csv | Jsonl | Both
+
+val emit_of_string : string -> emit option
+val emit_to_string : emit -> string
+
+(** MD5 hex digest over a table's id, title, columns, rows and notes,
+    with length-prefixed fields so distinct tables cannot collide by
+    concatenation. *)
+val table_digest : Table.t -> string
+
+(** One minified JSON object per row:
+    [{"row": i, "cells": {"<col>": "<raw cell>", ...}}].  Cells keep the
+    exact strings of the table. *)
+val jsonl_of_table : Table.t -> string
+
+(** [save_jsonl ~dir t] writes [dir/<id>.jsonl] and returns its path. *)
+val save_jsonl : dir:string -> Table.t -> string
+
+(** [save_table ~dir ~emit t] writes the table in the requested
+    format(s) and returns the paths written. *)
+val save_table : dir:string -> emit:emit -> Table.t -> string list
+
+(** The digested portion of the manifest.  Exposed so tests can compare
+    the exact bytes across worker counts. *)
+val run_section :
+  experiment:string ->
+  quick:bool ->
+  params:(string * Engine.Json.t) list ->
+  tables:Table.t list ->
+  Engine.Json.t
+
+(** Full manifest document as a string (trailing newline included). *)
+val render :
+  experiment:string ->
+  quick:bool ->
+  params:(string * Engine.Json.t) list ->
+  emit:emit ->
+  jobs:int ->
+  wall_s:float ->
+  tables:Table.t list ->
+  string
+
+(** [write ~dir ... tables] saves every table (per [emit]) plus
+    [dir/manifest.json]; returns the manifest path. *)
+val write :
+  dir:string ->
+  experiment:string ->
+  quick:bool ->
+  params:(string * Engine.Json.t) list ->
+  emit:emit ->
+  jobs:int ->
+  wall_s:float ->
+  Table.t list ->
+  string
+
+(** Extract the top-level ["digest"] field from a manifest file without
+    a JSON parser (first occurrence wins).  [None] when absent. *)
+val digest_of_file : string -> string option

@@ -31,6 +31,9 @@ let csv_cell cell =
   end
   else cell
 
+(* Strict CSV: header plus data rows only.  Notes are NOT embedded as
+   "# ..." comment lines — they corrupt strict CSV consumers — but live in
+   the run manifest and in the sidecar written by [save_csv]. *)
 let to_csv t =
   let buf = Buffer.create 1024 in
   let line cells =
@@ -39,19 +42,36 @@ let to_csv t =
   in
   line t.columns;
   List.iter line t.rows;
-  List.iter
-    (fun note ->
-      Buffer.add_string buf ("# " ^ note);
-      Buffer.add_char buf '\n')
-    t.notes;
   Buffer.contents buf
 
-let save_csv ~dir t =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let path = Filename.concat dir (t.id ^ ".csv") in
+let rec ensure_dir dir =
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      invalid_arg
+        (Printf.sprintf "Table.ensure_dir: %s exists and is not a directory"
+           dir)
+  end
+  else begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "" then ensure_dir parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+    (* lost a race with a concurrent creator: fine *)
+  end
+
+let write_file path contents =
   let oc = open_out path in
-  output_string oc (to_csv t);
-  close_out oc;
+  output_string oc contents;
+  close_out oc
+
+let save_csv ~dir t =
+  ensure_dir dir;
+  let path = Filename.concat dir (t.id ^ ".csv") in
+  write_file path (to_csv t);
+  if t.notes <> [] then
+    write_file
+      (Filename.concat dir (t.id ^ ".notes.txt"))
+      (String.concat "\n" t.notes ^ "\n");
   path
 
 let print fmt t =

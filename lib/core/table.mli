@@ -19,11 +19,19 @@ val make :
 
 val print : Format.formatter -> t -> unit
 
-(** CSV rendering: header line, data rows, notes as trailing [# ] comment
-    lines.  Cells containing commas or quotes are quoted. *)
+(** [ensure_dir dir] creates [dir] and any missing parents; raises
+    [Invalid_argument] when a path component exists as a regular file. *)
+val ensure_dir : string -> unit
+
+(** Strict CSV rendering: header line and data rows only (notes are kept
+    out of the body — see {!save_csv} and {!Manifest}).  Cells containing
+    commas or quotes are quoted. *)
 val to_csv : t -> string
 
-(** [save_csv ~dir t] writes [dir/<id>.csv]; creates [dir] if needed. *)
+(** [save_csv ~dir t] writes [dir/<id>.csv], creating [dir] (and parents)
+    as needed; raises [Invalid_argument] when a path component exists as a
+    regular file.  Non-empty notes go to a [dir/<id>.notes.txt] sidecar
+    rather than into the CSV body. *)
 val save_csv : dir:string -> t -> string
 
 (** Formatting helpers. *)

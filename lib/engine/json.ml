@@ -1,0 +1,91 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Deterministic float rendering: integers without a fractional part,
+   everything else with enough digits to be stable across runs.  JSON has
+   no NaN/infinity, so those degrade to null. *)
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let add_indent buf n = Buffer.add_string buf (String.make n ' ')
+
+let rec emit buf ~minify ~level v =
+  let nl () = if not minify then Buffer.add_char buf '\n' in
+  let pad n = if not minify then add_indent buf n in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float v when not (Float.is_finite v) -> Buffer.add_string buf "null"
+  | Float v -> Buffer.add_string buf (float_repr v)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    nl ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          nl ()
+        end;
+        pad (level + 2);
+        emit buf ~minify ~level:(level + 2) item)
+      items;
+    nl ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    nl ();
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          nl ()
+        end;
+        pad (level + 2);
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape key);
+        Buffer.add_string buf (if minify then "\":" else "\": ");
+        emit buf ~minify ~level:(level + 2) value)
+      fields;
+    nl ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(minify = false) v =
+  let buf = Buffer.create 256 in
+  emit buf ~minify ~level:0 v;
+  Buffer.contents buf
+
+let to_channel ?minify oc v =
+  output_string oc (to_string ?minify v);
+  output_char oc '\n'

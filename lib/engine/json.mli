@@ -1,0 +1,26 @@
+(** Minimal hand-rolled JSON emitter (no external dependencies).
+
+    Serialization is fully deterministic: field order is the order given,
+    floats render with a fixed format, and NaN/infinity (absent from JSON)
+    degrade to [null].  That determinism is load-bearing — run manifests
+    are digested byte-for-byte across worker counts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Backslash-escape a string for embedding in a JSON string literal
+    (quotes, backslashes, control characters). *)
+val escape : string -> string
+
+(** Render; pretty-printed with two-space indentation by default,
+    single-line when [minify] is set. *)
+val to_string : ?minify:bool -> t -> string
+
+(** [to_channel oc v] writes [to_string v] plus a trailing newline. *)
+val to_channel : ?minify:bool -> out_channel -> t -> unit

@@ -1,0 +1,130 @@
+type counter = { mutable count : int }
+type gauge = { mutable level : float; mutable g_set : bool }
+
+type series = {
+  stats : Stats.t;
+  mutable recent : float list;  (* newest first, capped at [keep] *)
+  keep : int;
+}
+
+type entry = Counter of counter | Gauge of gauge | Series of series
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable order : string list;  (* registration order, newest first *)
+}
+
+let create () = { entries = Hashtbl.create 32; order = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Series _ -> "series"
+
+(* Get-or-create by name; re-registering under a different kind is a
+   programming error, not a silent shadow. *)
+let register t name make cast =
+  match Hashtbl.find_opt t.entries name with
+  | Some entry -> (
+    match cast entry with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" name
+           (kind_name entry)))
+  | None ->
+    let v, entry = make () in
+    Hashtbl.replace t.entries name entry;
+    t.order <- name :: t.order;
+    v
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { count = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { level = 0.; g_set = false } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let series ?(keep = 0) t name =
+  register t name
+    (fun () ->
+      let s = { stats = Stats.create (); recent = []; keep } in
+      (s, Series s))
+    (function Series s -> Some s | _ -> None)
+
+(* Saturating increment: counters never wrap to negative on overflow. *)
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  c.count <- (if c.count > max_int - by then max_int else c.count + by)
+
+let value c = c.count
+
+let set g v =
+  g.level <- v;
+  g.g_set <- true
+
+let level g = g.level
+
+let observe s v =
+  Stats.add s.stats v;
+  if s.keep > 0 then
+    s.recent <- v :: List.filteri (fun i _ -> i < s.keep - 1) s.recent
+
+let series_stats s = s.stats
+
+let names t = List.sort String.compare (List.rev t.order)
+
+let snapshot t =
+  let pick f =
+    List.filter_map
+      (fun name -> Option.bind (Hashtbl.find_opt t.entries name) (f name))
+      (names t)
+  in
+  let counters =
+    pick (fun name -> function
+      | Counter c -> Some (name, Json.Int c.count)
+      | _ -> None)
+  in
+  let gauges =
+    pick (fun name -> function
+      | Gauge g when g.g_set -> Some (name, Json.Float g.level)
+      | _ -> None)
+  in
+  let series_fields =
+    pick (fun name -> function
+      | Series s when Stats.count s.stats > 0 ->
+        let fields =
+          [
+            ("count", Json.Int (Stats.count s.stats));
+            ("mean", Json.Float (Stats.mean s.stats));
+            ("stddev", Json.Float (Stats.stddev s.stats));
+            ("min", Json.Float (Stats.min s.stats));
+            ("max", Json.Float (Stats.max s.stats));
+            ("sum", Json.Float (Stats.sum s.stats));
+          ]
+        in
+        let fields =
+          if s.recent = [] then fields
+          else
+            fields
+            @ [
+                ( "recent",
+                  Json.List (List.rev_map (fun v -> Json.Float v) s.recent) );
+              ]
+        in
+        Some (name, Json.Obj fields)
+      | _ -> None)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("series", Json.Obj series_fields);
+    ]

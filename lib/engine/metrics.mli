@@ -1,0 +1,55 @@
+(** Lightweight registry of named counters, gauges and sampled series.
+
+    No external dependencies; a {!snapshot} serializes the whole registry
+    to {!Json.t} with names sorted, so two registries fed the same values
+    in any registration order produce identical bytes.
+
+    Entries are get-or-create by name: asking twice for the same counter
+    returns the same cell.  Asking for an existing name under a different
+    kind raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} — monotonically increasing integers. *)
+
+type counter
+
+val counter : t -> string -> counter
+
+(** Add [by] (default 1, must be non-negative).  Saturates at [max_int]
+    instead of wrapping to a negative value. *)
+val incr : ?by:int -> counter -> unit
+
+val value : counter -> int
+
+(** {2 Gauges} — last-written float levels.  A gauge that was never [set]
+    is omitted from snapshots. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val level : gauge -> float
+
+(** {2 Series} — online summary statistics over observed samples
+    ({!Stats.t} underneath).  [keep] > 0 additionally retains the last
+    [keep] raw samples for the snapshot. *)
+
+type series
+
+val series : ?keep:int -> t -> string -> series
+val observe : series -> float -> unit
+val series_stats : series -> Stats.t
+
+(** {2 Snapshot} *)
+
+(** Registered names, sorted. *)
+val names : t -> string list
+
+(** [{"counters": {...}, "gauges": {...}, "series": {...}}] with names
+    sorted; series report count/mean/stddev/min/max/sum (plus [recent]
+    when raw samples are kept), empty series and unset gauges are
+    omitted. *)
+val snapshot : t -> Json.t

@@ -22,8 +22,18 @@ let float t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let v = Int64.shift_right_logical (next_int64 t) 1 in
-  Int64.to_int (Int64.rem v (Int64.of_int bound))
+  (* Rejection sampling over a 63-bit draw: plain [Int64.rem] makes the
+     low residues appear once more than the high ones whenever the bound
+     does not divide 2^63.  Redraw in the final partial interval instead;
+     with range = 2^63, (range mod b) = ((max_int mod b) + 1) mod b. *)
+  let b = Int64.of_int bound in
+  let leftover = Int64.rem (Int64.add (Int64.rem Int64.max_int b) 1L) b in
+  let cutoff = Int64.sub Int64.max_int leftover in
+  let rec draw () =
+    let v = Int64.shift_right_logical (next_int64 t) 1 in
+    if v <= cutoff then Int64.to_int (Int64.rem v b) else draw ()
+  in
+  draw ()
 
 let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
 

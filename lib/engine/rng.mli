@@ -14,7 +14,8 @@ val split : t -> t
 (** Uniform in [\[0, 1)]. *)
 val float : t -> float
 
-(** Uniform in [\[0, bound)]; [bound > 0]. *)
+(** Uniform in [\[0, bound)]; [bound > 0].  Uses rejection sampling, so
+    every residue is exactly equally likely (no modulo bias). *)
 val int : t -> int -> int
 
 (** Uniform in [\[lo, hi)]. *)

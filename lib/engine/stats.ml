@@ -26,7 +26,11 @@ let stddev t = sqrt (variance t)
 let min t = t.min
 let max t = t.max
 let sum t = t.sum
-let cov t = if mean t = 0. then 0. else stddev t /. mean t
+(* Coefficient of variation is a relative dispersion: use |mean| so a
+   negative-mean series does not report a negative CoV. *)
+let cov t =
+  let m = Float.abs (mean t) in
+  if m = 0. then 0. else stddev t /. m
 
 let jain_index xs =
   match xs with
@@ -39,7 +43,7 @@ let jain_index xs =
 
 let percentile q xs =
   if q < 0. || q > 1. then invalid_arg "Stats.percentile: q outside [0,1]";
-  match List.sort compare xs with
+  match List.sort Float.compare xs with
   | [] -> invalid_arg "Stats.percentile: empty list"
   | sorted ->
     let arr = Array.of_list sorted in

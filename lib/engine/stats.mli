@@ -15,12 +15,14 @@ val min : t -> float
 val max : t -> float
 val sum : t -> float
 
-(** Coefficient of variation (stddev / mean); 0 when the mean is 0. *)
+(** Coefficient of variation (stddev / |mean|); 0 when the mean is 0.
+    Always non-negative, also for negative-mean series. *)
 val cov : t -> float
 
 (** Jain's fairness index of a list of allocations:
     [(sum x)^2 / (n * sum x^2)].  1 for perfectly equal shares. *)
 val jain_index : float list -> float
 
-(** [percentile q xs] with [q] in [\[0, 1\]], linear interpolation. *)
+(** [percentile q xs] with [q] in [\[0, 1\]], linear interpolation.
+    Sorts with [Float.compare], so float/NaN ordering is well-defined. *)
 val percentile : float -> float list -> float

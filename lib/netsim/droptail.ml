@@ -2,11 +2,19 @@ let make ~capacity =
   if capacity <= 0 then invalid_arg "Droptail.make: capacity must be positive";
   let q : Packet.t Queue.t = Queue.create () in
   let bytes = ref 0 in
+  let enqueued = ref 0 in
+  let dropped = ref 0 in
+  let peak_pkts = ref 0 in
   let enqueue (pkt : Packet.t) : Queue_intf.action =
-    if Queue.length q >= capacity then Queue_intf.Dropped
+    if Queue.length q >= capacity then begin
+      incr dropped;
+      Queue_intf.Dropped
+    end
     else begin
       Queue.add pkt q;
       bytes := !bytes + pkt.Packet.size;
+      incr enqueued;
+      if Queue.length q > !peak_pkts then peak_pkts := Queue.length q;
       Queue_intf.Enqueued
     end
   in
@@ -23,4 +31,11 @@ let make ~capacity =
     dequeue;
     pkts = (fun () -> Queue.length q);
     bytes = (fun () -> !bytes);
+    counters =
+      (fun () ->
+        [
+          ("enqueued", !enqueued);
+          ("dropped", !dropped);
+          ("peak_pkts", !peak_pkts);
+        ]);
   }

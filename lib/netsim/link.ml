@@ -65,5 +65,46 @@ let arrivals t = t.arrivals
 let drops t = t.drops
 let departures t = t.departures
 let bytes_out t = t.bytes_out
+
+(* Fraction of the link's capacity used over [elapsed] wall-sim seconds. *)
+let utilization t ~elapsed =
+  if elapsed <= 0. then 0. else t.bytes_out *. 8. /. (t.bandwidth *. elapsed)
+
+(* Own counters plus the queue discipline's, for the observability layer.
+   Queue counters are prefixed with the discipline name. *)
+let counters t =
+  [
+    ("arrivals", t.arrivals);
+    ("drops", t.drops);
+    ("departures", t.departures);
+    ("bytes_out", int_of_float t.bytes_out);
+  ]
+  @ List.map
+      (fun (k, v) -> (t.queue.Queue_intf.name ^ "." ^ k, v))
+      (t.queue.Queue_intf.counters ())
+
+(* Register this link's counters and utilization on a metrics registry;
+   call [snapshot] at the end of the run to freeze current values. *)
+let register_metrics t registry ~prefix =
+  let sampled = ref [] in
+  List.iter
+    (fun (k, _) ->
+      let c = Engine.Metrics.counter registry (prefix ^ "." ^ k) in
+      sampled := (c, k) :: !sampled)
+    (counters t);
+  let util = Engine.Metrics.gauge registry (prefix ^ ".utilization") in
+  let t0 = Engine.Sim.now t.sim in
+  fun () ->
+    let current = counters t in
+    List.iter
+      (fun (c, k) ->
+        match List.assoc_opt k current with
+        | Some v ->
+          let delta = v - Engine.Metrics.value c in
+          if delta > 0 then Engine.Metrics.incr ~by:delta c
+        | None -> ())
+      !sampled;
+    Engine.Metrics.set util
+      (utilization t ~elapsed:(Engine.Sim.now t.sim -. t0))
 let on_drop t hook = t.drop_hooks <- hook :: t.drop_hooks
 let on_departure t hook = t.departure_hooks <- hook :: t.departure_hooks

@@ -33,6 +33,22 @@ val drops : t -> int
 val departures : t -> int
 val bytes_out : t -> float
 
+(** [utilization t ~elapsed] is the fraction of capacity used over the
+    last [elapsed] seconds of simulated time: [bytes_out * 8 / (bw * s)].
+    0 when [elapsed <= 0]. *)
+val utilization : t -> elapsed:float -> float
+
+(** Link counters plus the queue discipline's own counters (prefixed with
+    the discipline name), e.g. [("arrivals", _); ("red.early_drop", _)]. *)
+val counters : t -> (string * int) list
+
+(** [register_metrics t registry ~prefix] registers every counter of
+    {!counters} plus a [<prefix>.utilization] gauge on [registry] and
+    returns a refresh closure; call it whenever a snapshot is about to be
+    taken (typically once, at the end of the run). *)
+val register_metrics :
+  t -> Engine.Metrics.t -> prefix:string -> unit -> unit
+
 (** Hook invoked for every dropped packet (monitoring / tests). *)
 val on_drop : t -> (Packet.t -> unit) -> unit
 

@@ -1,8 +1,16 @@
 let wrap ~name ~should_drop (inner : Queue_intf.t) =
+  let pattern_drops = ref 0 in
   let enqueue pkt =
-    if should_drop pkt then Queue_intf.Dropped else inner.Queue_intf.enqueue pkt
+    if should_drop pkt then begin
+      incr pattern_drops;
+      Queue_intf.Dropped
+    end
+    else inner.Queue_intf.enqueue pkt
   in
-  { inner with Queue_intf.name; enqueue }
+  let counters () =
+    ("pattern_drop", !pattern_drops) :: inner.Queue_intf.counters ()
+  in
+  { inner with Queue_intf.name; enqueue; counters }
 
 let by_count ~pattern inner =
   if pattern = [] || List.exists (fun n -> n <= 0) pattern then

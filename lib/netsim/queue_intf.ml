@@ -6,4 +6,5 @@ type t = {
   dequeue : unit -> Packet.t option;
   pkts : unit -> int;
   bytes : unit -> int;
+  counters : unit -> (string * int) list;
 }

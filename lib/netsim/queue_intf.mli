@@ -15,4 +15,8 @@ type t = {
   dequeue : unit -> Packet.t option;
   pkts : unit -> int;  (** current queue length in packets *)
   bytes : unit -> int;  (** current queue length in bytes *)
+  counters : unit -> (string * int) list;
+      (** cumulative discipline counters (enqueued/dropped/marked/peak
+          occupancy, ...) for the observability layer; names are unique
+          and stable within one queue *)
 }

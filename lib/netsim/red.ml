@@ -27,6 +27,12 @@ type state = {
   mutable avg : float;
   mutable count : int;
   mutable idle_since : float option;  (** Some t when the queue is empty *)
+  (* cumulative counters for the observability layer *)
+  mutable n_enqueued : int;
+  mutable n_early_drop : int;  (** probabilistic (RED) drops *)
+  mutable n_forced_drop : int;  (** buffer overflow / beyond-ceiling drops *)
+  mutable n_marked : int;
+  mutable peak_pkts : int;
 }
 
 let make_with_introspection ~sim ~rng p =
@@ -39,6 +45,11 @@ let make_with_introspection ~sim ~rng p =
       avg = 0.;
       count = -1;
       idle_since = Some 0.;
+      n_enqueued = 0;
+      n_early_drop = 0;
+      n_forced_drop = 0;
+      n_marked = 0;
+      peak_pkts = 0;
     }
   in
   let update_avg () =
@@ -83,23 +94,31 @@ let make_with_introspection ~sim ~rng p =
       end
     end
   in
+  let admit pkt =
+    Queue.add pkt s.q;
+    s.bytes <- s.bytes + pkt.Packet.size;
+    s.n_enqueued <- s.n_enqueued + 1;
+    if Queue.length s.q > s.peak_pkts then s.peak_pkts <- Queue.length s.q
+  in
   let enqueue (pkt : Packet.t) : Queue_intf.action =
     update_avg ();
     if Queue.length s.q >= p.capacity then begin
       s.count <- 0;
+      s.n_forced_drop <- s.n_forced_drop + 1;
       Queue_intf.Dropped
     end
     else begin
       match early_verdict () with
-      | Queue_intf.Dropped -> Queue_intf.Dropped
+      | Queue_intf.Dropped ->
+        s.n_early_drop <- s.n_early_drop + 1;
+        Queue_intf.Dropped
       | Queue_intf.Marked ->
         pkt.Packet.ecn <- true;
-        Queue.add pkt s.q;
-        s.bytes <- s.bytes + pkt.Packet.size;
+        admit pkt;
+        s.n_marked <- s.n_marked + 1;
         Queue_intf.Marked
       | Queue_intf.Enqueued ->
-        Queue.add pkt s.q;
-        s.bytes <- s.bytes + pkt.Packet.size;
+        admit pkt;
         Queue_intf.Enqueued
     end
   in
@@ -118,6 +137,15 @@ let make_with_introspection ~sim ~rng p =
       dequeue;
       pkts = (fun () -> Queue.length s.q);
       bytes = (fun () -> s.bytes);
+      counters =
+        (fun () ->
+          [
+            ("enqueued", s.n_enqueued);
+            ("early_drop", s.n_early_drop);
+            ("forced_drop", s.n_forced_drop);
+            ("marked", s.n_marked);
+            ("peak_pkts", s.peak_pkts);
+          ]);
     }
   in
   (queue, fun () -> s.avg)

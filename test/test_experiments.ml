@@ -46,8 +46,9 @@ let test_to_csv () =
       [ [ "1"; "2,3" ]; [ "q\"uote"; "4" ] ]
   in
   let csv = Slowcc.Table.to_csv t in
-  Alcotest.(check string) "csv"
-    "a,b\n1,\"2,3\"\n\"q\"\"uote\",4\n# hello\n" csv
+  (* Notes are no longer embedded as "# ..." comment lines: the body is
+     strict CSV, notes travel in the manifest / sidecar instead. *)
+  Alcotest.(check string) "csv" "a,b\n1,\"2,3\"\n\"q\"\"uote\",4\n" csv
 
 let test_save_csv () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "slowcc_csv_test" in

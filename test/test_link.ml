@@ -90,9 +90,65 @@ let test_validation () =
         (Netsim.Link.make ~sim ~bandwidth:0. ~delay:0.
            ~queue:(Netsim.Droptail.make ~capacity:1)))
 
+let test_counters_and_metrics () =
+  (* A 2-packet queue fed 10 back-to-back packets drops the overflow; the
+     link's counters and a Metrics registry snapshot agree. *)
+  let sim, link = fixture ~bandwidth:8e6 ~delay:0.001 ~capacity:2 () in
+  Netsim.Link.connect link ignore;
+  let registry = Engine.Metrics.create () in
+  let refresh = Netsim.Link.register_metrics link registry ~prefix:"btl" in
+  for i = 1 to 10 do
+    Netsim.Link.send link (mk_pkt i)
+  done;
+  Engine.Sim.run sim;
+  refresh ();
+  let counters = Netsim.Link.counters link in
+  let get k = List.assoc k counters in
+  Alcotest.(check int) "arrivals" 10 (get "arrivals");
+  Alcotest.(check int) "conservation" 10 (get "departures" + get "drops");
+  Alcotest.(check bool) "drops happened" true (get "drops" > 0);
+  Alcotest.(check int) "queue discipline counted enqueues"
+    (get "departures") (get "droptail.enqueued");
+  Alcotest.(check int) "registry mirrors the link" (get "drops")
+    (Engine.Metrics.value (Engine.Metrics.counter registry "btl.drops"));
+  let util =
+    Engine.Metrics.level (Engine.Metrics.gauge registry "btl.utilization")
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "utilization %.2f sane" util)
+    true
+    (util > 0.5 && util <= 1.0)
+
+let test_flow_stats_record () =
+  (* The uniform per-flow stats record: a clean TCP run delivers what it
+     sends (minus in-flight), retransmits nothing, and reports its srtt. *)
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:1 in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng
+      (Netsim.Dumbbell.default_config ~bandwidth:50e6)
+  in
+  let flow = Slowcc.Protocol.spawn (Slowcc.Protocol.tcp ~gamma:2.) db in
+  flow.Cc.Flow.start ();
+  Engine.Sim.run ~until:2. sim;
+  let s = flow.Cc.Flow.stats () in
+  Alcotest.(check bool) "sent packets" true (s.Cc.Flow.sent_pkts > 100);
+  Alcotest.(check bool) "delivered most of what was sent" true
+    (s.Cc.Flow.delivered_bytes > 0.9 *. s.Cc.Flow.sent_bytes);
+  Alcotest.(check bool) "srtt near the 50 ms base RTT" true
+    (s.Cc.Flow.stat_srtt > 0.04 && s.Cc.Flow.stat_srtt < 0.1);
+  (* json_of_stats emits every field as a finite number. *)
+  match Cc.Flow.json_of_stats s with
+  | Engine.Json.Obj fields ->
+    Alcotest.(check int) "seven fields" 7 (List.length fields)
+  | _ -> Alcotest.fail "stats must serialize to an object"
+
 let suite =
   [
     Alcotest.test_case "serialization time" `Quick test_tx_time;
+    Alcotest.test_case "counters and metrics registry" `Quick
+      test_counters_and_metrics;
+    Alcotest.test_case "per-flow stats record" `Quick test_flow_stats_record;
     Alcotest.test_case "delivery time" `Quick test_delivery_time;
     Alcotest.test_case "pipelined propagation" `Quick test_pipelining;
     Alcotest.test_case "ordering preserved" `Quick test_ordering_preserved;

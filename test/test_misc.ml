@@ -69,6 +69,12 @@ let test_flow_throughput_validates_interval () =
       bytes_delivered = (fun () -> 0.);
       current_rate = (fun () -> 0.);
       srtt = (fun () -> 0.);
+      stats =
+        Cc.Flow.basic_stats
+          ~pkts_sent:(fun () -> 0)
+          ~bytes_sent:(fun () -> 0.)
+          ~bytes_delivered:(fun () -> 0.)
+          ~srtt:(fun () -> 0.);
     }
   in
   Alcotest.check_raises "empty interval"
@@ -118,6 +124,50 @@ let test_spawn_ca_start () =
     true
     (pkts > 20. && pkts < 200.)
 
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let sample_table =
+  Slowcc.Table.make ~id:"t1" ~title:"sample"
+    ~columns:[ "a"; "b" ]
+    ~notes:[ "first note"; "second note" ]
+    [ [ "1"; "2" ] ]
+
+let test_save_csv_nested_dir () =
+  (* save_csv used to require the parent to exist; now it creates the
+     whole chain. *)
+  let dir = "tmp-misc/deeply/nested/dir" in
+  let path = Slowcc.Table.save_csv ~dir sample_table in
+  Alcotest.(check bool) "csv written" true (Sys.file_exists path);
+  Alcotest.(check string) "strict csv body" "a,b\n1,2\n" (read_file path)
+
+let test_save_csv_dir_is_file () =
+  (* A path component that exists as a regular file must fail loudly, not
+     with an opaque Sys_error from open_out. *)
+  Slowcc.Table.ensure_dir "tmp-misc";
+  let blocker = "tmp-misc/blocker" in
+  let oc = open_out blocker in
+  close_out oc;
+  Alcotest.check_raises "clear error"
+    (Invalid_argument
+       "Table.ensure_dir: tmp-misc/blocker exists and is not a directory")
+    (fun () -> ignore (Slowcc.Table.save_csv ~dir:blocker sample_table))
+
+let test_save_csv_notes_sidecar () =
+  (* Notes used to be embedded as "# ..." lines inside the CSV, corrupting
+     strict parsers; they now live in a sidecar. *)
+  let dir = "tmp-misc/sidecar" in
+  let path = Slowcc.Table.save_csv ~dir sample_table in
+  let body = read_file path in
+  Alcotest.(check bool) "no comment lines in csv" false
+    (String.exists (fun c -> c = '#') body);
+  Alcotest.(check string) "sidecar holds the notes"
+    "first note\nsecond note\n"
+    (read_file (Filename.concat dir "t1.notes.txt"))
+
 let suite =
   [
     Alcotest.test_case "heap stress" `Slow test_heap_stress;
@@ -130,4 +180,10 @@ let suite =
       test_stabilization_threshold_floor;
     Alcotest.test_case "protocol names" `Quick test_protocol_name_roundtrip;
     Alcotest.test_case "ca_start paces additively" `Quick test_spawn_ca_start;
+    Alcotest.test_case "save_csv creates nested dirs" `Quick
+      test_save_csv_nested_dir;
+    Alcotest.test_case "save_csv rejects file-as-dir" `Quick
+      test_save_csv_dir_is_file;
+    Alcotest.test_case "save_csv notes go to sidecar" `Quick
+      test_save_csv_notes_sidecar;
   ]

@@ -38,6 +38,28 @@ let test_int_rejects_nonpositive () =
     (Invalid_argument "Rng.int: bound must be positive") (fun () ->
       ignore (Engine.Rng.int rng 0))
 
+let test_int_unbiased () =
+  (* Regression for the modulo-bias bug: [int] used to map the raw draw
+     with a plain [mod], over-weighting small residues for bounds that do
+     not divide 2^63.  With rejection sampling every bucket of a small
+     bound must land within a few percent of n/bound. *)
+  let rng = Engine.Rng.create ~seed:11 in
+  let bound = 7 and n = 35_000 in
+  let buckets = Array.make bound 0 in
+  for _ = 1 to n do
+    let v = Engine.Rng.int rng bound in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d within 10%% (got %d, want ~%.0f)" i c
+           expected)
+        true (dev < 0.1))
+    buckets
+
 let test_uniform_bounds () =
   let rng = Engine.Rng.create ~seed:4 in
   for _ = 1 to 1000 do
@@ -94,6 +116,7 @@ let suite =
     Alcotest.test_case "split independence" `Quick test_split_independent;
     Alcotest.test_case "int bounds" `Quick test_int_bounds;
     Alcotest.test_case "int rejects non-positive" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int distribution unbiased" `Quick test_int_unbiased;
     Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
     Alcotest.test_case "float mean" `Quick test_float_mean;
     Alcotest.test_case "exponential mean" `Quick test_exponential_mean;

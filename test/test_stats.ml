@@ -30,6 +30,15 @@ let test_cov () =
   let s = feed [ 1.; 1.; 1. ] in
   Alcotest.(check (float 1e-12)) "cov of constant" 0. (Engine.Stats.cov s)
 
+let test_cov_negative_mean () =
+  (* Regression: cov divided by the signed mean, so series with negative
+     means got a negative coefficient of variation.  CoV is defined over
+     |mean|. *)
+  let pos = feed [ 1.; 2.; 3. ] and neg = feed [ -1.; -2.; -3. ] in
+  Alcotest.(check bool) "cov non-negative" true (Engine.Stats.cov neg >= 0.);
+  Alcotest.(check (float 1e-12)) "mirrored series, same cov"
+    (Engine.Stats.cov pos) (Engine.Stats.cov neg)
+
 let test_jain_equal () =
   Alcotest.(check (float 1e-9)) "equal shares" 1.
     (Engine.Stats.jain_index [ 3.; 3.; 3.; 3. ])
@@ -49,6 +58,17 @@ let test_percentile () =
   Alcotest.(check (float 1e-9)) "max" 5. (Engine.Stats.percentile 1. xs);
   Alcotest.(check (float 1e-9)) "interpolated" 1.5
     (Engine.Stats.percentile 0.125 xs)
+
+let test_percentile_float_compare () =
+  (* Regression: sorting with polymorphic [compare] is fragile for float
+     lists (and wrong for NaN-laden ones); [Float.compare] gives a total
+     order with NaN sorted first, so finite quantiles stay sensible. *)
+  let xs = [ 5.; Float.nan; 1.; 3. ] in
+  Alcotest.(check (float 1e-9)) "max ignores NaN position" 5.
+    (Engine.Stats.percentile 1. xs);
+  let mixed = [ -0.; 2.; 0.; -1. ] in
+  Alcotest.(check (float 1e-9)) "signed zeros ordered" 2.
+    (Engine.Stats.percentile 1. mixed)
 
 let prop_welford_matches_naive =
   QCheck2.Test.make ~name:"welford variance matches two-pass" ~count:100
@@ -78,10 +98,13 @@ let suite =
     Alcotest.test_case "empty" `Quick test_empty;
     Alcotest.test_case "single sample" `Quick test_single;
     Alcotest.test_case "cov" `Quick test_cov;
+    Alcotest.test_case "cov with negative mean" `Quick test_cov_negative_mean;
     Alcotest.test_case "jain equal" `Quick test_jain_equal;
     Alcotest.test_case "jain skewed" `Quick test_jain_skewed;
     Alcotest.test_case "jain empty" `Quick test_jain_empty;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile float ordering" `Quick
+      test_percentile_float_compare;
     QCheck_alcotest.to_alcotest prop_welford_matches_naive;
     QCheck_alcotest.to_alcotest prop_jain_bounds;
   ]

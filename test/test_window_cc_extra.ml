@@ -120,6 +120,41 @@ let test_srtt_stable_under_heavy_loss () =
     true
     (srtt > 0.04 && srtt < 0.15)
 
+let test_stale_acks_are_not_dupacks () =
+  (* Regression: an ack with cum_seq strictly below snd_una (stale
+     duplicate from before a timeout's go-back-N rewind, or reordered in
+     the network) used to count towards the three-dupack threshold and
+     trigger a spurious fast retransmit with a window halving.  Only an
+     ack for exactly snd_una is a duplicate. *)
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:5 in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng
+      (Netsim.Dumbbell.default_config ~bandwidth:50e6)
+  in
+  let src, dst = Netsim.Dumbbell.add_host_pair db in
+  let flow_id = Netsim.Dumbbell.fresh_flow db in
+  let cfg =
+    Cc.Window_cc.default_config (Cc.Window_cc.tcp_compatible_aimd ~b:0.5)
+  in
+  let tcp = Cc.Window_cc.create ~sim ~src ~dst ~flow:flow_id cfg in
+  (Cc.Window_cc.flow tcp).Cc.Flow.start ();
+  (* A clean 50 Mbps path: after 0.3 s snd_una is far beyond seq 1. *)
+  Engine.Sim.run ~until:0.3 sim;
+  let cwnd_before = Cc.Window_cc.cwnd tcp in
+  let fast_rtx_before = Cc.Window_cc.fast_retransmits tcp in
+  for _ = 1 to 3 do
+    Netsim.Node.receive src
+      (Netsim.Packet.make ~size:40 ~flow:flow_id ~src:(Netsim.Node.id dst)
+         ~dst:(Netsim.Node.id src) ~sent_at:(Engine.Sim.now sim)
+         ~payload:(Netsim.Packet.Ack { cum_seq = 1; sack = [] })
+         ())
+  done;
+  Alcotest.(check int) "no spurious fast retransmit" fast_rtx_before
+    (Cc.Window_cc.fast_retransmits tcp);
+  Alcotest.(check (float 1e-9)) "cwnd untouched by stale acks" cwnd_before
+    (Cc.Window_cc.cwnd tcp)
+
 let test_two_flows_share_fairly () =
   let sim, db = db_fixture ~bandwidth:8e6 () in
   let a = spawn sim db and b = spawn sim db in
@@ -149,6 +184,8 @@ let suite =
       test_finished_flow_ignores_acks;
     Alcotest.test_case "srtt stable under heavy loss" `Slow
       test_srtt_stable_under_heavy_loss;
+    Alcotest.test_case "stale acks are not dupacks" `Quick
+      test_stale_acks_are_not_dupacks;
     Alcotest.test_case "two flows share fairly" `Slow
       test_two_flows_share_fairly;
   ]
