@@ -4,10 +4,14 @@
    dune exec bench/main.exe -- --quick      -- shrunk sweeps (minutes)
    dune exec bench/main.exe -- --only fig7  -- a single figure
    dune exec bench/main.exe -- --jobs 8     -- sweeps on 8 worker domains
-   dune exec bench/main.exe -- --perf       -- micro-benchmarks + BENCH_engine.json *)
+   dune exec bench/main.exe -- --sched heap -- force the heap scheduler
+   dune exec bench/main.exe -- --perf       -- micro-benchmarks + BENCH_engine.json
+   dune exec bench/main.exe -- --perf --quick-micro -- CI smoke (seconds)
+   dune exec bench/main.exe -- --validate   -- schema-check BENCH_engine.json *)
 
 let () =
   let quick = ref false and only = ref [] and perf = ref false in
+  let quick_micro = ref false and validate = ref false in
   let outdir = ref "" in
   let jobs = ref (Engine.Pool.default_jobs ()) in
   let args =
@@ -22,7 +26,22 @@ let () =
           "N worker domains for the sweeps (default %d, this machine's \
            recommended domain count; 1 = serial)"
           (Engine.Pool.default_jobs ()) );
+      ( "--sched",
+        Arg.String
+          (fun s ->
+            match Engine.Scheduler.of_string s with
+            | Some k -> Engine.Scheduler.set_default k
+            | None ->
+              raise (Arg.Bad ("unknown scheduler " ^ s ^ " (heap|calendar)"))),
+        "event-queue implementation: heap or calendar (default calendar)" );
       ("--perf", Arg.Set perf, "run simulator micro-benchmarks instead");
+      ( "--quick-micro",
+        Arg.Set quick_micro,
+        "with --perf: short measurement quota, skip the suite timing \
+         (CI smoke)" );
+      ( "--validate",
+        Arg.Set validate,
+        "schema-check an existing BENCH_engine.json and exit" );
       ( "--outdir",
         Arg.Set_string outdir,
         "also write each table as <dir>/<id>.csv" );
@@ -30,9 +49,12 @@ let () =
   in
   Arg.parse args
     (fun anon -> raise (Arg.Bad ("unexpected argument " ^ anon)))
-    "bench/main.exe [--quick] [--only figN]... [--jobs N] [--perf]";
+    "bench/main.exe [--quick] [--only figN]... [--jobs N] [--sched S] [--perf]";
   let fmt = Format.std_formatter in
-  if !perf then Perf.run ~suite_jobs:!jobs ()
+  if !validate then
+    exit (if Perf.validate ~path:"BENCH_engine.json" then 0 else 1)
+  else if !perf || !quick_micro then
+    Perf.run ~suite_jobs:!jobs ~suite:(not !quick_micro) ~quick:!quick_micro ()
   else begin
     let t0 = Unix.gettimeofday () in
     let failed = ref false in

@@ -30,6 +30,28 @@ let jobs_arg =
            recommended domain count; 1 = serial).  Results are identical \
            for any N.")
 
+let sched_conv =
+  let parse s =
+    match Engine.Scheduler.of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown scheduler %S (heap|calendar)" s))
+  in
+  let print fmt k = Format.pp_print_string fmt (Engine.Scheduler.to_string k) in
+  Arg.conv (parse, print)
+
+let sched_arg =
+  Arg.(
+    value
+    & opt (some sched_conv) None
+    & info [ "sched" ] ~docv:"S"
+        ~doc:
+          "Event-queue implementation: $(b,heap) or $(b,calendar) (default \
+           calendar, or $(b,SLOWCC_SCHED)).  Simulation results are \
+           byte-identical under either; this selects the engine data \
+           structure only.")
+
+let apply_sched = Option.iter Engine.Scheduler.set_default
+
 let out_dir_arg =
   Arg.(
     value
@@ -76,8 +98,9 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig7.")
   in
-  let run verbose quick jobs out_dir emit name =
+  let run verbose quick jobs sched out_dir emit name =
     setup_logs verbose;
+    apply_sched sched;
     Engine.Pool.with_pool ~jobs (fun pool ->
         let result =
           match out_dir with
@@ -100,11 +123,12 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
     Term.(
-      const run $ verbose_arg $ quick_arg $ jobs_arg $ out_dir_arg $ emit_arg
-      $ name_arg)
+      const run $ verbose_arg $ quick_arg $ jobs_arg $ sched_arg $ out_dir_arg
+      $ emit_arg $ name_arg)
 
 let all_cmd =
-  let run quick jobs out_dir emit =
+  let run quick jobs sched out_dir emit =
+    apply_sched sched;
     Engine.Pool.with_pool ~jobs (fun pool ->
         match out_dir with
         | None ->
@@ -121,7 +145,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in figure order")
-    Term.(const run $ quick_arg $ jobs_arg $ out_dir_arg $ emit_arg)
+    Term.(const run $ quick_arg $ jobs_arg $ sched_arg $ out_dir_arg $ emit_arg)
 
 let protocol_conv =
   let parse s =

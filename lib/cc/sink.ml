@@ -6,11 +6,15 @@ type t = {
   flow : int;
   peer : int;
   ack_size : int;
+  sack : bool;  (* compute SACK blocks on each ack (senders without SACK
+                   ignore them, so skipping the per-ack fold over the
+                   out-of-order set is behavior-identical and removes the
+                   sink from the allocation profile entirely) *)
   delayed_acks : bool;
   delack_timeout : float;
   mutable next_expected : int;
   mutable out_of_order : IntSet.t;
-  mutable bytes : float;
+  mutable bytes : int;
   mutable pkts : int;
   mutable unacked_pkts : int;  (* in-order packets not yet acked (delack) *)
   mutable delack_timer : Engine.Sim.handle option;
@@ -39,14 +43,12 @@ let send_ack t =
     t.delack_timer <- None
   | None -> ());
   t.unacked_pkts <- 0;
+  let sack = if t.sack then sack_blocks t else [] in
   let ack =
-    Netsim.Packet.make ~size:t.ack_size ~flow:t.flow
+    Netsim.Packet.alloc_ack ~size:t.ack_size ~flow:t.flow
       ~src:(Netsim.Node.id t.node) ~dst:t.peer
       ~sent_at:(Engine.Sim.now t.sim)
-      ~payload:
-        (Netsim.Packet.Ack
-           { cum_seq = t.next_expected; sack = sack_blocks t })
-      ()
+      ~cum_seq:t.next_expected ~sack
   in
   ack.Netsim.Packet.ecn <- t.last_ecn;
   t.last_ecn <- false;
@@ -63,7 +65,7 @@ let arm_delack t =
 let handle t (pkt : Netsim.Packet.t) =
   match pkt.Netsim.Packet.payload with
   | Netsim.Packet.Plain | Netsim.Packet.Tfrc_data _ ->
-    t.bytes <- t.bytes +. float_of_int pkt.Netsim.Packet.size;
+    t.bytes <- t.bytes + pkt.Netsim.Packet.size;
     t.pkts <- t.pkts + 1;
     t.last_ecn <- t.last_ecn || pkt.Netsim.Packet.ecn;
     let seq = pkt.Netsim.Packet.seq in
@@ -90,8 +92,8 @@ let handle t (pkt : Netsim.Packet.t) =
   | Netsim.Packet.Tear_fb _ ->
     ()
 
-let attach ?(ack_size = 40) ?(delayed_acks = false) ?(delack_timeout = 0.2)
-    ~sim ~node ~flow ~peer () =
+let attach ?(ack_size = 40) ?(sack = true) ?(delayed_acks = false)
+    ?(delack_timeout = 0.2) ~sim ~node ~flow ~peer () =
   let t =
     {
       sim;
@@ -99,11 +101,12 @@ let attach ?(ack_size = 40) ?(delayed_acks = false) ?(delack_timeout = 0.2)
       flow;
       peer;
       ack_size;
+      sack;
       delayed_acks;
       delack_timeout;
       next_expected = 0;
       out_of_order = IntSet.empty;
-      bytes = 0.;
+      bytes = 0;
       pkts = 0;
       unacked_pkts = 0;
       delack_timer = None;
@@ -113,6 +116,6 @@ let attach ?(ack_size = 40) ?(delayed_acks = false) ?(delack_timeout = 0.2)
   Netsim.Node.attach node ~flow (handle t);
   t
 
-let bytes_received t = t.bytes
+let bytes_received t = float_of_int t.bytes
 let pkts_received t = t.pkts
 let cumulative t = t.next_expected

@@ -11,6 +11,12 @@ type t
     [flow]; acks are addressed to node id [peer].  [ack_size] defaults to
     40 bytes.
 
+    [sack] (default true) controls whether each ack carries SACK blocks.
+    Senders that don't implement SACK ignore the blocks, so disabling it
+    is behavior-identical for them while skipping the per-ack fold over
+    the out-of-order set — the single largest allocation on the TCP hot
+    path.  [Window_cc] passes its own [cfg.sack] through.
+
     [delayed_acks] enables RFC-1122-style delayed acks: one ack per two
     in-order packets, or after [delack_timeout] (default 200 ms), with
     immediate acks for out-of-order data.  The paper's TCP is modeled
@@ -18,6 +24,7 @@ type t
     explore the variant. *)
 val attach :
   ?ack_size:int ->
+  ?sack:bool ->
   ?delayed_acks:bool ->
   ?delack_timeout:float ->
   sim:Engine.Sim.t ->

@@ -41,14 +41,14 @@ type receiver = {
   mutable rtt_from_sender : float;
   mutable last_ts : float;  (* timestamp of last data packet *)
   mutable last_ts_arrival : float;  (* when it arrived here *)
-  mutable bytes_since_fb : float;
+  mutable bytes_since_fb : int;
   mutable last_fb_time : float;
   arrivals : (float * int) Queue.t;  (* recent (time, size), window of 16 *)
   mutable new_loss_pending : bool;
   mutable first_interval_seeded : bool;
   mutable recv_rate_estimate : float;  (* bytes/s over last fb interval *)
-  mutable total_bytes : float;
-  mutable fb_timer : Engine.Sim.handle option;
+  mutable total_bytes : int;
+  mutable fb_timer : Engine.Sim.timer;
 }
 
 let receiver_rtt r =
@@ -95,7 +95,8 @@ let send_feedback r =
   (match measured_recv_rate r ~now with
   | Some rate -> r.recv_rate_estimate <- rate
   | None ->
-    if elapsed > 0. then r.recv_rate_estimate <- r.bytes_since_fb /. elapsed);
+    if elapsed > 0. then
+      r.recv_rate_estimate <- float_of_int r.bytes_since_fb /. elapsed);
   let p =
     Loss_history.loss_event_rate ~discounting:r.r_cfg.history_discounting
       r.history
@@ -118,8 +119,9 @@ let send_feedback r =
         r.history
     else p
   in
-  let fb =
-    Netsim.Packet.Tfrc_fb
+  let pkt =
+    Netsim.Packet.alloc_tfrc_fb ~size:40 ~flow:r.r_flow
+      ~src:(Netsim.Node.id r.r_node) ~dst:r.r_peer ~sent_at:now
       {
         Netsim.Packet.loss_event_rate = p;
         recv_rate = r.recv_rate_estimate;
@@ -128,24 +130,12 @@ let send_feedback r =
         new_loss = r.new_loss_pending;
       }
   in
-  let pkt =
-    Netsim.Packet.make ~size:40 ~flow:r.r_flow ~src:(Netsim.Node.id r.r_node)
-      ~dst:r.r_peer ~sent_at:now ~payload:fb ()
-  in
   Netsim.Node.inject r.r_node pkt;
   r.new_loss_pending <- false;
-  r.bytes_since_fb <- 0.;
+  r.bytes_since_fb <- 0;
   r.last_fb_time <- now
 
-let rec schedule_feedback r =
-  r.fb_timer <-
-    Some
-      (Engine.Sim.after_cancellable r.r_sim (receiver_rtt r) (fun () ->
-           (* Feedback is only sent while data keeps arriving (RFC 3448
-              s6.2); an all-zero receive rate would otherwise collapse the
-              sender's slow-start cap. *)
-           if r.bytes_since_fb > 0. || r.new_loss_pending then send_feedback r;
-           schedule_feedback r))
+let schedule_feedback r = Engine.Sim.arm_after r.fb_timer (receiver_rtt r)
 
 let receiver_handle r (pkt : Netsim.Packet.t) =
   match pkt.Netsim.Packet.payload with
@@ -154,8 +144,8 @@ let receiver_handle r (pkt : Netsim.Packet.t) =
     if rtt_estimate > 0. then r.rtt_from_sender <- rtt_estimate;
     r.last_ts <- timestamp;
     r.last_ts_arrival <- now;
-    r.total_bytes <- r.total_bytes +. float_of_int pkt.Netsim.Packet.size;
-    r.bytes_since_fb <- r.bytes_since_fb +. float_of_int pkt.Netsim.Packet.size;
+    r.total_bytes <- r.total_bytes + pkt.Netsim.Packet.size;
+    r.bytes_since_fb <- r.bytes_since_fb + pkt.Netsim.Packet.size;
     Queue.add (now, pkt.Netsim.Packet.size) r.arrivals;
     while Queue.length r.arrivals > 16 do
       ignore (Queue.pop r.arrivals)
@@ -205,16 +195,15 @@ type t = {
   mutable slow_start : bool;
   mutable last_p : float;
   mutable seq : int;
-  mutable send_timer : Engine.Sim.handle option;
-  mutable nofb_timer : Engine.Sim.handle option;
+  mutable send_timer : Engine.Sim.timer;
+  mutable nofb_timer : Engine.Sim.timer;
   mutable pkts_sent : int;
-  mutable bytes_sent : float;
+  mutable bytes_sent : int;
 }
 
 let sender_rtt t = if t.rtt_valid then t.srtt else t.cfg.initial_rtt
 
-let rec send_next t =
-  t.send_timer <- None;
+let send_next t =
   if t.running then begin
     let pkt =
       Netsim.Packet.make ~size:t.cfg.pkt_size ~seq:t.seq ~flow:t.flow_id
@@ -230,28 +219,20 @@ let rec send_next t =
     in
     t.seq <- t.seq + 1;
     t.pkts_sent <- t.pkts_sent + 1;
-    t.bytes_sent <- t.bytes_sent +. float_of_int t.cfg.pkt_size;
+    t.bytes_sent <- t.bytes_sent + t.cfg.pkt_size;
     Netsim.Node.inject t.src pkt;
     let gap = 1. /. Float.max t.cfg.min_rate_pps t.x in
-    t.send_timer <-
-      Some (Engine.Sim.after_cancellable t.sim gap (fun () -> send_next t))
+    Engine.Sim.arm_after t.send_timer gap
   end
-
-let cancel_timer h =
-  match h with Some h -> Engine.Sim.cancel h | None -> ()
 
 (* The no-feedback timer: halve the rate when feedback stops arriving
    (t_RTO = max(4 R, 2 packets at the current rate)). *)
-let rec restart_nofb t =
-  cancel_timer t.nofb_timer;
+let restart_nofb t =
   if t.running then begin
     let t_rto = Float.max (4. *. sender_rtt t) (2. /. Float.max 1e-6 t.x) in
-    t.nofb_timer <-
-      Some
-        (Engine.Sim.after_cancellable t.sim t_rto (fun () ->
-             t.x <- Float.max t.cfg.min_rate_pps (t.x /. 2.);
-             restart_nofb t))
+    Engine.Sim.arm_after t.nofb_timer t_rto
   end
+  else Engine.Sim.disarm t.nofb_timer
 
 let on_feedback t (fb : Netsim.Packet.tfrc_feedback) =
   let now = Engine.Sim.now t.sim in
@@ -294,12 +275,15 @@ let on_feedback t (fb : Netsim.Packet.tfrc_feedback) =
   restart_nofb t
 
 let handle_fb t (pkt : Netsim.Packet.t) =
-  if t.running then
-    match pkt.Netsim.Packet.payload with
-    | Netsim.Packet.Tfrc_fb fb -> on_feedback t fb
-    | Netsim.Packet.Plain | Netsim.Packet.Ack _ | Netsim.Packet.Rap_ack _
-    | Netsim.Packet.Tfrc_data _ | Netsim.Packet.Tear_fb _ ->
-      ()
+  (if t.running then
+     match pkt.Netsim.Packet.payload with
+     | Netsim.Packet.Tfrc_fb fb -> on_feedback t fb
+     | Netsim.Packet.Plain | Netsim.Packet.Ack _ | Netsim.Packet.Rap_ack _
+     | Netsim.Packet.Tfrc_data _ | Netsim.Packet.Tear_fb _ ->
+       ());
+  (* Sole consumer of the receiver's pooled feedback shells; the payload
+     record itself is fresh per feedback and not recycled. *)
+  Netsim.Packet.release pkt
 
 let create ~sim ~src ~dst ~flow cfg =
   let receiver =
@@ -314,16 +298,24 @@ let create ~sim ~src ~dst ~flow cfg =
       rtt_from_sender = 0.;
       last_ts = 0.;
       last_ts_arrival = 0.;
-      bytes_since_fb = 0.;
+      bytes_since_fb = 0;
       last_fb_time = 0.;
       arrivals = Queue.create ();
       new_loss_pending = false;
       first_interval_seeded = false;
       recv_rate_estimate = 0.;
-      total_bytes = 0.;
-      fb_timer = None;
+      total_bytes = 0;
+      fb_timer = Engine.Sim.timer sim ignore;
     }
   in
+  receiver.fb_timer <-
+    Engine.Sim.timer sim (fun () ->
+        (* Feedback is only sent while data keeps arriving (RFC 3448
+           s6.2); an all-zero receive rate would otherwise collapse the
+           sender's slow-start cap. *)
+        if receiver.bytes_since_fb > 0 || receiver.new_loss_pending then
+          send_feedback receiver;
+        schedule_feedback receiver);
   Netsim.Node.attach dst ~flow (receiver_handle receiver);
   let t =
     {
@@ -340,12 +332,17 @@ let create ~sim ~src ~dst ~flow cfg =
       slow_start = true;
       last_p = 0.;
       seq = 0;
-      send_timer = None;
-      nofb_timer = None;
+      send_timer = Engine.Sim.timer sim ignore;
+      nofb_timer = Engine.Sim.timer sim ignore;
       pkts_sent = 0;
-      bytes_sent = 0.;
+      bytes_sent = 0;
     }
   in
+  t.send_timer <- Engine.Sim.timer sim (fun () -> send_next t);
+  t.nofb_timer <-
+    Engine.Sim.timer sim (fun () ->
+        t.x <- Float.max t.cfg.min_rate_pps (t.x /. 2.);
+        restart_nofb t);
   Netsim.Node.attach src ~flow (handle_fb t);
   t
 
@@ -360,14 +357,9 @@ let start t =
 
 let stop t =
   t.running <- false;
-  cancel_timer t.send_timer;
-  t.send_timer <- None;
-  cancel_timer t.nofb_timer;
-  t.nofb_timer <- None;
-  (match t.receiver.fb_timer with
-  | Some h -> Engine.Sim.cancel h
-  | None -> ());
-  t.receiver.fb_timer <- None
+  Engine.Sim.disarm t.send_timer;
+  Engine.Sim.disarm t.nofb_timer;
+  Engine.Sim.disarm t.receiver.fb_timer
 
 let flow t =
   let name =
@@ -380,15 +372,15 @@ let flow t =
     start = (fun () -> start t);
     stop = (fun () -> stop t);
     pkts_sent = (fun () -> t.pkts_sent);
-    bytes_sent = (fun () -> t.bytes_sent);
-    bytes_delivered = (fun () -> t.receiver.total_bytes);
+    bytes_sent = (fun () -> float_of_int t.bytes_sent);
+    bytes_delivered = (fun () -> float_of_int t.receiver.total_bytes);
     current_rate = (fun () -> t.x *. float_of_int t.cfg.pkt_size);
     srtt = (fun () -> sender_rtt t);
     stats =
       Flow.basic_stats
         ~pkts_sent:(fun () -> t.pkts_sent)
-        ~bytes_sent:(fun () -> t.bytes_sent)
-        ~bytes_delivered:(fun () -> t.receiver.total_bytes)
+        ~bytes_sent:(fun () -> float_of_int t.bytes_sent)
+        ~bytes_delivered:(fun () -> float_of_int t.receiver.total_bytes)
         ~srtt:(fun () -> sender_rtt t);
   }
 

@@ -95,7 +95,9 @@ type t = {
   mutable rttvar : float;
   mutable rtt_valid : bool;
   mutable backoff : float;
-  mutable rto_timer : Engine.Sim.handle option;
+  mutable rto_timer : Engine.Sim.timer;
+      (* one reusable timer for the flow's lifetime: re-arming per ack
+         allocates nothing, unlike an [after_cancellable] handle *)
   (* BSD-style RTT timing: one probe segment at a time, invalidated by any
      retransmission episode (Karn's algorithm).  Timing via cumulative
      acks of arbitrary segments would charge hole-recovery time to the
@@ -103,7 +105,7 @@ type t = {
   mutable rtt_probe : (int * float) option;  (* seq, send time *)
   (* --- counters --- *)
   mutable pkts_sent : int;
-  mutable bytes_sent : float;
+  mutable bytes_sent : int;
   mutable n_timeouts : int;
   mutable n_fast_rtx : int;
   mutable n_rtx_pkts : int;
@@ -136,7 +138,7 @@ let transmit t ~seq =
       ~sent_at:(Engine.Sim.now t.sim) ()
   in
   t.pkts_sent <- t.pkts_sent + 1;
-  t.bytes_sent <- t.bytes_sent +. float_of_int t.cfg.pkt_size;
+  t.bytes_sent <- t.bytes_sent + t.cfg.pkt_size;
   if seq < t.high_water then begin
     (* Retransmission: never time it, and invalidate any probe it could
        overlap (Karn). *)
@@ -182,21 +184,14 @@ let next_lost_hole t =
     scan t.snd_una
   end
 
-let cancel_rto t =
-  match t.rto_timer with
-  | Some h ->
-    Engine.Sim.cancel h;
-    t.rto_timer <- None
-  | None -> ()
+let cancel_rto t = Engine.Sim.disarm t.rto_timer
 
-let rec restart_rto t =
-  cancel_rto t;
+let restart_rto t =
   if t.running && t.snd_una < t.snd_nxt then
-    t.rto_timer <-
-      Some (Engine.Sim.after_cancellable t.sim (current_rto t) (fun () -> on_rto t))
+    Engine.Sim.arm_after t.rto_timer (current_rto t)
+  else cancel_rto t
 
-and on_rto t =
-  t.rto_timer <- None;
+let on_rto t =
   if t.running && t.snd_una < t.snd_nxt then begin
     t.n_timeouts <- t.n_timeouts + 1;
     Log.debug (fun m ->
@@ -253,7 +248,7 @@ let try_send t =
         transmit t ~seq:t.snd_nxt;
         t.snd_nxt <- t.snd_nxt + 1
       done;
-    if t.rto_timer = None then restart_rto t
+    if not (Engine.Sim.timer_armed t.rto_timer) then restart_rto t
   end
 
 let sample_rtt t ~acked_up_to =
@@ -372,25 +367,28 @@ let on_ecn t =
   end
 
 let handle_ack t (pkt : Netsim.Packet.t) =
-  if t.running then
-    match pkt.Netsim.Packet.payload with
-    | Netsim.Packet.Ack { cum_seq; sack } ->
-      if t.cfg.sack then merge_sack t sack;
-      if pkt.Netsim.Packet.ecn then on_ecn t;
-      if cum_seq > t.snd_una then on_new_ack t cum_seq
-      else if cum_seq = t.snd_una && t.snd_una < t.snd_nxt then on_dup_ack t
-      (* cum_seq < snd_una: a stale ack from before a timeout's go-back-N
-         rewind.  It carries no information about the current window and
-         must not count towards the three-dupack threshold. *)
-    | Netsim.Packet.Plain | Netsim.Packet.Rap_ack _ | Netsim.Packet.Tfrc_data _
-    | Netsim.Packet.Tfrc_fb _ | Netsim.Packet.Tear_fb _ ->
-      ()
+  (if t.running then
+     match pkt.Netsim.Packet.payload with
+     | Netsim.Packet.Ack { cum_seq; sack } ->
+       if t.cfg.sack then merge_sack t sack;
+       if pkt.Netsim.Packet.ecn then on_ecn t;
+       if cum_seq > t.snd_una then on_new_ack t cum_seq
+       else if cum_seq = t.snd_una && t.snd_una < t.snd_nxt then on_dup_ack t
+       (* cum_seq < snd_una: a stale ack from before a timeout's go-back-N
+          rewind.  It carries no information about the current window and
+          must not count towards the three-dupack threshold. *)
+     | Netsim.Packet.Plain | Netsim.Packet.Rap_ack _ | Netsim.Packet.Tfrc_data _
+     | Netsim.Packet.Tfrc_fb _ | Netsim.Packet.Tear_fb _ ->
+       ());
+  (* This sender is the sole consumer of its sink's pooled acks; nothing
+     above retains the packet or its sack list past this point. *)
+  Netsim.Packet.release pkt
 
 let create ~sim ~src ~dst ~flow cfg =
   if cfg.initial_window < 1. then invalid_arg "Window_cc: initial_window";
   let sink =
-    Sink.attach ~delayed_acks:cfg.delayed_acks ~sim ~node:dst ~flow
-      ~peer:(Netsim.Node.id src) ()
+    Sink.attach ~sack:cfg.sack ~delayed_acks:cfg.delayed_acks ~sim ~node:dst
+      ~flow ~peer:(Netsim.Node.id src) ()
   in
   let t =
     {
@@ -422,15 +420,16 @@ let create ~sim ~src ~dst ~flow cfg =
       rttvar = 0.;
       rtt_valid = false;
       backoff = 1.;
-      rto_timer = None;
+      rto_timer = Engine.Sim.timer sim ignore;
       rtt_probe = None;
       pkts_sent = 0;
-      bytes_sent = 0.;
+      bytes_sent = 0;
       n_timeouts = 0;
       n_fast_rtx = 0;
       n_rtx_pkts = 0;
     }
   in
+  t.rto_timer <- Engine.Sim.timer sim (fun () -> on_rto t);
   Netsim.Node.attach src ~flow (handle_ack t);
   t
 
@@ -451,7 +450,7 @@ let flow t =
     start = (fun () -> start t);
     stop = (fun () -> stop t);
     pkts_sent = (fun () -> t.pkts_sent);
-    bytes_sent = (fun () -> t.bytes_sent);
+    bytes_sent = (fun () -> float_of_int t.bytes_sent);
     bytes_delivered = (fun () -> Sink.bytes_received t.sink);
     current_rate =
       (fun () ->
@@ -463,7 +462,7 @@ let flow t =
       (fun () ->
         {
           Flow.sent_pkts = t.pkts_sent;
-          sent_bytes = t.bytes_sent;
+          sent_bytes = float_of_int t.bytes_sent;
           delivered_bytes = Sink.bytes_received t.sink;
           rtx_pkts = t.n_rtx_pkts;
           timeouts = t.n_timeouts;

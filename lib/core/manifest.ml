@@ -118,6 +118,13 @@ let render ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables =
             [
               ("wall_s", Json.Float wall_s);
               ("jobs", Json.Int jobs);
+              (* Engine configuration, not experiment identity: results are
+                 byte-identical under either scheduler, so it stays out of
+                 the digested run section. *)
+              ( "sched",
+                Json.String
+                  (Engine.Scheduler.to_string (Engine.Scheduler.get_default ()))
+              );
               ("emit", Json.String (emit_to_string emit));
             ] );
       ]

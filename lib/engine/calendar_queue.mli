@@ -1,0 +1,46 @@
+(** ns-2-style calendar queue: amortized O(1) timed-event scheduling.
+
+    A bucketed timer ring with automatic resize of bucket count and width,
+    matching {!Event_heap}'s API and ordering contract exactly: events pop
+    in lexicographic (time, insertion-order) order, so FIFO within equal
+    timestamps.  Steady-state add/take allocates nothing — nodes live in
+    pooled parallel arrays and are linked into buckets by index. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add t ~time v] schedules [v] at [time].  [time] must be finite and
+    non-negative.  Adding behind the last dequeued time is permitted but
+    slow; the simulator never does it. *)
+val add : 'a t -> time:float -> 'a -> unit
+
+(** Remove and return the earliest event, or [None] if empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Allocation-free variant of {!pop}: remove and return the earliest
+    event's value.  Raises [Invalid_argument] on an empty queue; read
+    {!min_time} first for the timestamp. *)
+val take : 'a t -> 'a
+
+(** Earliest event time without removing it, [Float.nan] if empty.  The
+    allocation-free counterpart of {!peek_time}. *)
+val min_time : 'a t -> float
+
+(** Earliest event time without removing it. *)
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Drop all events.  Vacated slots are overwritten so the GC can reclaim
+    the dropped payloads immediately. *)
+val clear : 'a t -> unit
+
+(** {2 Introspection} — exposed for tests and the resize-policy bench. *)
+
+(** Current number of buckets in the ring (a power of two). *)
+val buckets : 'a t -> int
+
+(** Current bucket width in seconds. *)
+val width : 'a t -> float

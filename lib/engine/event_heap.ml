@@ -19,12 +19,21 @@ type 'a t = {
   mutable vals : Obj.t array;
   mutable len : int;
   mutable next_seq : int;
+  staging : floatarray;  (* unboxed hand-off slot for [add] *)
 }
 
 let initial_capacity = 256
 let dummy : Obj.t = Obj.repr ()
 
-let create () = { times = [||]; seqs = [||]; vals = [||]; len = 0; next_seq = 0 }
+let create () =
+  {
+    times = [||];
+    seqs = [||];
+    vals = [||];
+    len = 0;
+    next_seq = 0;
+    staging = Float.Array.create 1;
+  }
 
 let grow t =
   let cap = Array.length t.times in
@@ -94,20 +103,29 @@ let sift_down t ~time ~seq v =
   done;
   set t !i ~time ~seq v
 
-let add t ~time value =
-  if not (Float.is_finite time) then
-    invalid_arg "Event_heap.add: non-finite time";
+let add_staged t v =
+  let time = Float.Array.unsafe_get t.staging 0 in
   if t.len = Array.length t.times then grow t;
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.len <- t.len + 1;
-  sift_up t (t.len - 1) ~time ~seq (Obj.repr value)
+  sift_up t (t.len - 1) ~time ~seq v
+
+(* The staging slot lets an inlined caller hand the (unboxed) time to the
+   out-of-line body without boxing it at the call boundary (no flambda, so
+   a float crossing a plain call gets boxed; a floatarray store does not). *)
+let[@inline] add t ~time value =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_heap.add: non-finite time";
+  Float.Array.unsafe_set t.staging 0 time;
+  add_staged t (Obj.repr value)
 
 let is_empty t = t.len = 0
 let size t = t.len
 
 (* Earliest time; NaN if empty — callers check [is_empty] first. *)
-let min_time t = if t.len = 0 then Float.nan else Array.unsafe_get t.times 0
+let[@inline] min_time t =
+  if t.len = 0 then Float.nan else Array.unsafe_get t.times 0
 
 let peek_time t = if t.len = 0 then None else Some t.times.(0)
 

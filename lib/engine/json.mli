@@ -24,3 +24,14 @@ val to_string : ?minify:bool -> t -> string
 
 (** [to_channel oc v] writes [to_string v] plus a trailing newline. *)
 val to_channel : ?minify:bool -> out_channel -> t -> unit
+
+(** Parse one JSON document.  Numbers with a fraction or exponent become
+    [Float], plain integers become [Int] (falling back to [Float] beyond
+    native int range); [\uXXXX] escapes decode to UTF-8.  Trailing
+    non-whitespace after the document is an error.  Errors carry the
+    byte offset of the problem. *)
+val of_string : string -> (t, string) result
+
+(** [member key doc] is the value of field [key] when [doc] is an
+    [Obj] containing it, else [None]. *)
+val member : string -> t -> t option

@@ -4,6 +4,7 @@ type t = {
   has_work : Condition.t;
   pending : (unit -> unit) Queue.t;
   mutable closing : bool;
+  mutable spawned : int;
   mutable workers : unit Domain.t list;
 }
 
@@ -13,6 +14,50 @@ let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 let clamp_jobs jobs = min 128 (max 1 jobs)
+
+(* GC policy for simulation domains.  The engine hot path allocates little
+   but steadily; a larger minor heap cuts minor-collection frequency (and
+   with it promotion of short-lived event closures).  [SLOWCC_GC] overrides:
+   "off" leaves the runtime defaults, otherwise a comma-separated list of
+   [minor=<words>] and [overhead=<percent>]. *)
+type gc_policy = Gc_off | Gc_set of { minor : int; overhead : int }
+
+let parse_gc_policy () =
+  let default = Gc_set { minor = 1_048_576; overhead = 120 } in
+  match Sys.getenv_opt "SLOWCC_GC" with
+  | None | Some "" -> default
+  | Some s when String.lowercase_ascii s = "off" -> Gc_off
+  | Some s -> (
+    let minor = ref 1_048_576 and overhead = ref 120 and ok = ref true in
+    String.split_on_char ',' s
+    |> List.iter (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i -> (
+             let k = String.sub kv 0 i in
+             let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+             match (k, int_of_string_opt v) with
+             | "minor", Some n when n > 0 -> minor := n
+             | "overhead", Some n when n > 0 -> overhead := n
+             | _ -> ok := false)
+           | None -> ok := false);
+    if !ok then Gc_set { minor = !minor; overhead = !overhead }
+    else begin
+      Printf.eprintf
+        "warning: SLOWCC_GC=%S not understood (want \"off\" or \
+         \"minor=<words>,overhead=<pct>\"); using defaults\n\
+         %!"
+        s;
+      default
+    end)
+
+let gc_policy = lazy (parse_gc_policy ())
+
+let tune_gc () =
+  match Lazy.force gc_policy with
+  | Gc_off -> ()
+  | Gc_set { minor; overhead } ->
+    let g = Gc.get () in
+    Gc.set { g with Gc.minor_heap_size = minor; space_overhead = overhead }
 
 let rec worker_loop t =
   Mutex.lock t.mutex;
@@ -29,25 +74,33 @@ let rec worker_loop t =
 
 let create ~jobs =
   let jobs = clamp_jobs jobs in
-  let t =
-    {
-      jobs;
-      mutex = Mutex.create ();
-      has_work = Condition.create ();
-      pending = Queue.create ();
-      closing = false;
-      workers = [];
-    }
-  in
-  if jobs > 1 then
-    t.workers <-
-      List.init jobs (fun _ ->
-          Domain.spawn (fun () ->
-              Domain.DLS.set in_worker true;
-              worker_loop t));
-  t
+  tune_gc ();
+  {
+    jobs;
+    mutex = Mutex.create ();
+    has_work = Condition.create ();
+    pending = Queue.create ();
+    closing = false;
+    spawned = 0;
+    workers = [];
+  }
 
 let jobs t = t.jobs
+
+(* Spawn workers on demand, never more than the batch at hand can keep
+   busy: a pool created with [jobs = 8] that only ever sees 2-job batches
+   runs 2 domains.  Called with [t.mutex] held. *)
+let ensure_workers t batch_size =
+  let wanted = min t.jobs batch_size in
+  while t.spawned < wanted do
+    t.spawned <- t.spawned + 1;
+    t.workers <-
+      Domain.spawn (fun () ->
+          Domain.DLS.set in_worker true;
+          tune_gc ();
+          worker_loop t)
+      :: t.workers
+  done
 
 type 'r cell = Pending | Done of 'r | Failed of exn * Printexc.raw_backtrace
 
@@ -57,7 +110,7 @@ type 'r cell = Pending | Done of 'r | Failed of exn * Printexc.raw_backtrace
 let run_array t thunks =
   let n = Array.length thunks in
   if n = 0 then [||]
-  else if t.jobs <= 1 || Domain.DLS.get in_worker then
+  else if t.jobs <= 1 || n = 1 || Domain.DLS.get in_worker then
     Array.map (fun f -> f ()) thunks
   else begin
     let results = Array.make n Pending in
@@ -69,6 +122,7 @@ let run_array t thunks =
       Mutex.unlock t.mutex;
       invalid_arg "Pool: submission after shutdown"
     end;
+    ensure_workers t n;
     Array.iteri
       (fun i f ->
         Queue.add
@@ -117,7 +171,8 @@ let shutdown t =
   Condition.broadcast t.has_work;
   Mutex.unlock t.mutex;
   List.iter Domain.join t.workers;
-  t.workers <- []
+  t.workers <- [];
+  t.spawned <- 0
 
 let with_pool ~jobs f =
   let t = create ~jobs in

@@ -25,9 +25,22 @@ val default_jobs : unit -> int
     (1 to 128). *)
 val clamp_jobs : int -> int
 
-(** [create ~jobs] spawns [clamp_jobs jobs] worker domains when the
-    result exceeds 1, none otherwise; the submitting domain itself only
-    waits on batches.  *)
+(** Apply the engine GC policy to the calling domain: a 1M-word minor
+    heap (vs the 256k default) so the steady trickle of event closures
+    triggers fewer minor collections.  Overridden by the [SLOWCC_GC]
+    environment variable: ["off"] keeps the runtime defaults, otherwise a
+    comma-separated list of [minor=<words>] and [overhead=<percent>]
+    (malformed values warn on stderr and fall back to the default
+    policy).  [create] applies it to the submitting domain and every
+    worker applies it on spawn; call it directly for domains the pool
+    does not manage. *)
+val tune_gc : unit -> unit
+
+(** [create ~jobs] makes a pool that will use at most [clamp_jobs jobs]
+    worker domains.  Workers are spawned lazily at submission time and
+    clamped to the batch size, so a pool sized for the machine never runs
+    more domains than it has jobs in flight; the submitting domain itself
+    only waits on batches. *)
 val create : jobs:int -> t
 
 (** Worker count the pool was created with (>= 1). *)

@@ -1,0 +1,21 @@
+(** Event-queue selection for {!Sim}.
+
+    Both implementations expose the same ordering contract (pop in
+    (time, insertion-order) order), so simulations are byte-identical
+    under either; the calendar queue is amortized O(1) and wins on the
+    dense timer workloads the experiments generate, the heap has no
+    resize pauses and wins on tiny or wildly non-uniform queues. *)
+
+type kind = Heap | Calendar
+
+val to_string : kind -> string
+
+(** Case-insensitive; accepts ["heap"], ["calendar"], ["cal"]. *)
+val of_string : string -> kind option
+
+(** Process-wide default used by [Sim.create] when [?sched] is omitted.
+    Initialized to [Calendar], overridable with the [SLOWCC_SCHED]
+    environment variable (["heap"] or ["calendar"]). *)
+val get_default : unit -> kind
+
+val set_default : kind -> unit

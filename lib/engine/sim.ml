@@ -1,24 +1,63 @@
 type handle = { mutable live : bool }
 
+type queue =
+  | Q_heap of (unit -> unit) Event_heap.t
+  | Q_cal of (unit -> unit) Calendar_queue.t
+
 type t = {
-  heap : (unit -> unit) Event_heap.t;
-  mutable now : float;
+  q : queue;
+  clock : floatarray;
+      (* cell 0: virtual now.  A floatarray cell instead of a [mutable
+         now : float] field — stores into a mixed record box the float on
+         every event (no flambda); floatarray stores do not. *)
   mutable running : bool;
   mutable processed : int;
 }
 
-let create () =
-  { heap = Event_heap.create (); now = 0.; running = false; processed = 0 }
+let create ?sched () =
+  let kind =
+    match sched with Some k -> k | None -> Scheduler.get_default ()
+  in
+  let q =
+    match kind with
+    | Scheduler.Heap -> Q_heap (Event_heap.create ())
+    | Scheduler.Calendar -> Q_cal (Calendar_queue.create ())
+  in
+  { q; clock = Float.Array.make 1 0.; running = false; processed = 0 }
 
-let now t = t.now
+let scheduler t =
+  match t.q with Q_heap _ -> Scheduler.Heap | Q_cal _ -> Scheduler.Calendar
+
+let[@inline] now t = Float.Array.unsafe_get t.clock 0
+let[@inline] set_now t time = Float.Array.unsafe_set t.clock 0 time
+
+let[@inline] q_add t ~time f =
+  match t.q with
+  | Q_heap h -> Event_heap.add h ~time f
+  | Q_cal c -> Calendar_queue.add c ~time f
+
+let[@inline] q_is_empty t =
+  match t.q with
+  | Q_heap h -> Event_heap.is_empty h
+  | Q_cal c -> Calendar_queue.is_empty c
+
+let[@inline] q_min_time t =
+  match t.q with
+  | Q_heap h -> Event_heap.min_time h
+  | Q_cal c -> Calendar_queue.min_time c
+
+let[@inline] q_take t =
+  match t.q with
+  | Q_heap h -> Event_heap.take h
+  | Q_cal c -> Calendar_queue.take c
 
 let at t time f =
-  if time < t.now then
+  if time < now t then
     invalid_arg
-      (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time t.now);
-  Event_heap.add t.heap ~time f
+      (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time (now t));
+  q_add t ~time f
 
-let[@inline] after t delay f = at t (t.now +. delay) f
+let[@inline] after t delay f = at t (now t +. delay) f
 
 let at_cancellable t time f =
   let handle = { live = true } in
@@ -31,23 +70,86 @@ let at_cancellable t time f =
   at t time guarded;
   handle
 
-let after_cancellable t delay f = at_cancellable t (t.now +. delay) f
+let after_cancellable t delay f = at_cancellable t (now t +. delay) f
 
 let cancel handle = handle.live <- false
 let pending handle = handle.live
 
+(* Reusable timers: one guarded closure and one queue entry per arming,
+   zero allocation on re-arm.  Cancellation is lazy — [disarm] just clears
+   [armed] and the stale queue entry no-ops when it fires.  The deadline
+   check distinguishes a live arming from stale entries left by earlier
+   armings of the same timer: the simulator sets the clock to the event's
+   scheduled time exactly, so [deadline = now] holds iff this entry is the
+   one most recently armed. *)
+type timer = {
+  tsim : t;
+  mutable armed : bool;
+  deadline : floatarray;
+  mutable fire : unit -> unit;
+}
+
+let timer t f =
+  let tm =
+    { tsim = t; armed = false; deadline = Float.Array.create 1; fire = ignore }
+  in
+  tm.fire <-
+    (fun () ->
+      if tm.armed && Float.Array.unsafe_get tm.deadline 0 = now t then begin
+        tm.armed <- false;
+        f ()
+      end);
+  tm
+
+let arm_at tm time =
+  let t = tm.tsim in
+  if time < now t then
+    invalid_arg
+      (Printf.sprintf "Sim.arm_at: time %g is in the past (now %g)" time
+         (now t));
+  Float.Array.unsafe_set tm.deadline 0 time;
+  tm.armed <- true;
+  q_add t ~time tm.fire
+
+let[@inline] arm_after tm delay = arm_at tm (now tm.tsim +. delay)
+let disarm tm = tm.armed <- false
+let timer_armed tm = tm.armed
+
 let every ?(stop = Float.infinity) t ~interval f =
   if interval <= 0. then invalid_arg "Sim.every: non-positive interval";
   (* One recursive closure per [every] call; each tick reschedules the
-     same closure, so steady-state ticking allocates nothing. *)
+     same closure, so steady-state ticking allocates nothing.  Tick k is
+     placed at [base +. k *. interval] — recomputed from the base each
+     time rather than accumulated, so a long-running probe stays on the
+     grid instead of drifting by the summed rounding error. *)
+  let base = now t in
+  let k = ref 1 in
   let rec tick () =
-    if t.now <= stop then begin
+    let tnow = now t in
+    if tnow <= stop then begin
       f ();
-      let next = t.now +. interval in
-      if next <= stop then Event_heap.add t.heap ~time:next tick
+      k := !k + 1;
+      let next = base +. (float_of_int !k *. interval) in
+      let next =
+        if next > tnow then next
+        else begin
+          (* Sub-ulp interval at this magnitude: step k until the grid
+             actually advances so the tick chain cannot stall. *)
+          let rec bump k' =
+            let nx = base +. (float_of_int k' *. interval) in
+            if nx > tnow then begin
+              k := k';
+              nx
+            end
+            else bump (k' + 1)
+          in
+          bump (!k + 1)
+        end
+      in
+      if next <= stop then q_add t ~time:next tick
     end
   in
-  let first = t.now +. interval in
+  let first = base +. interval in
   if first <= stop then at t first tick
 
 let stop t = t.running <- false
@@ -58,18 +160,18 @@ let run ?(until = Float.infinity) t =
      no [Some]/tuple allocation per event. *)
   let rec loop () =
     if t.running then begin
-      if Event_heap.is_empty t.heap then t.running <- false
+      if q_is_empty t then t.running <- false
       else begin
-        let time = Event_heap.min_time t.heap in
+        let time = q_min_time t in
         if time > until then begin
-          (* Leave the event in the heap so the simulation can resume from
-             this clock later; park the clock at the horizon. *)
-          t.now <- until;
+          (* Leave the event in the queue so the simulation can resume
+             from this clock later; park the clock at the horizon. *)
+          set_now t until;
           t.running <- false
         end
         else begin
-          let f = Event_heap.take t.heap in
-          t.now <- time;
+          let f = q_take t in
+          set_now t time;
           t.processed <- t.processed + 1;
           f ();
           loop ()
@@ -78,7 +180,7 @@ let run ?(until = Float.infinity) t =
     end
   in
   loop ();
-  if Event_heap.is_empty t.heap && t.now < until && Float.is_finite until then
-    t.now <- until
+  if q_is_empty t && now t < until && Float.is_finite until then
+    set_now t until
 
 let events_processed t = t.processed

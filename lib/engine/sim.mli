@@ -1,15 +1,24 @@
 (** Discrete-event simulation clock and scheduler.
 
-    A [Sim.t] owns the virtual clock and an event heap of thunks.  All
+    A [Sim.t] owns the virtual clock and a queue of timed thunks.  All
     simulated components schedule closures through it; [run] drains events
-    in time order until the heap is empty or a stop condition fires. *)
+    in time order until the queue is empty or a stop condition fires.
+
+    The event queue is either a binary heap or an ns-2-style calendar
+    queue ({!Scheduler.kind}); both pop in (time, insertion-order) order,
+    so every simulation is byte-identical under either. *)
 
 type t
 
 (** A handle to a scheduled event that can be cancelled. *)
 type handle
 
-val create : unit -> t
+(** [create ?sched ()] makes a fresh simulator.  [sched] defaults to
+    {!Scheduler.get_default} (calendar queue unless overridden). *)
+val create : ?sched:Scheduler.kind -> unit -> t
+
+(** Which event queue this simulator runs on. *)
+val scheduler : t -> Scheduler.kind
 
 (** Current virtual time in seconds. *)
 val now : t -> float
@@ -32,12 +41,39 @@ val cancel : handle -> unit
 (** True if the handle has neither fired nor been cancelled. *)
 val pending : handle -> bool
 
+(** {2 Reusable timers}
+
+    A [timer] is an arm/disarm-many-times alarm bound to one callback at
+    creation.  Unlike {!after_cancellable} — which allocates a handle and
+    a fresh guarded closure per scheduling — re-arming a timer allocates
+    nothing, which matters for per-ack retransmit timers.  Arming while
+    already armed simply replaces the deadline. *)
+
+type timer
+
+(** [timer t f] makes a disarmed timer that runs [f] when it expires. *)
+val timer : t -> (unit -> unit) -> timer
+
+(** Arm (or re-arm) at absolute [time].  Scheduling in the past raises
+    [Invalid_argument]. *)
+val arm_at : timer -> float -> unit
+
+(** Arm (or re-arm) at [now +. delay]. *)
+val arm_after : timer -> float -> unit
+
+(** Disarm; a no-op if not armed. *)
+val disarm : timer -> unit
+
+val timer_armed : timer -> bool
+
 (** [every t ~interval ~stop f] runs [f] every [interval] seconds starting
-    at [now +. interval] until [stop] (absolute time, default: forever). *)
+    at [now +. interval] until [stop] (absolute time, default: forever).
+    Tick [k] lands exactly on [now +. k *. interval] — the grid does not
+    drift over long runs. *)
 val every : ?stop:float -> t -> interval:float -> (unit -> unit) -> unit
 
-(** Drain events until the heap is empty, [until] is reached (the clock is
-    then left at [until]), or [stop] is called. *)
+(** Drain events until the queue is empty, [until] is reached (the clock
+    is then left at [until]), or [stop] is called. *)
 val run : ?until:float -> t -> unit
 
 (** Stop [run] after the current event completes. *)

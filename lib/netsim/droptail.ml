@@ -1,25 +1,25 @@
 let make ~capacity =
   if capacity <= 0 then invalid_arg "Droptail.make: capacity must be positive";
-  let q : Packet.t Queue.t = Queue.create () in
+  let q = Pktq.create () in
   let bytes = ref 0 in
   let enqueued = ref 0 in
   let dropped = ref 0 in
   let peak_pkts = ref 0 in
   let enqueue (pkt : Packet.t) : Queue_intf.action =
-    if Queue.length q >= capacity then begin
+    if Pktq.length q >= capacity then begin
       incr dropped;
       Queue_intf.Dropped
     end
     else begin
-      Queue.add pkt q;
+      Pktq.add q pkt;
       bytes := !bytes + pkt.Packet.size;
       incr enqueued;
-      if Queue.length q > !peak_pkts then peak_pkts := Queue.length q;
+      if Pktq.length q > !peak_pkts then peak_pkts := Pktq.length q;
       Queue_intf.Enqueued
     end
   in
   let dequeue () =
-    match Queue.take_opt q with
+    match Pktq.take_opt q with
     | None -> None
     | Some pkt ->
       bytes := !bytes - pkt.Packet.size;
@@ -29,7 +29,7 @@ let make ~capacity =
     Queue_intf.name = "droptail";
     enqueue;
     dequeue;
-    pkts = (fun () -> Queue.length q);
+    pkts = (fun () -> Pktq.length q);
     bytes = (fun () -> !bytes);
     counters =
       (fun () ->

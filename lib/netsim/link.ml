@@ -1,3 +1,12 @@
+(* The packet hot path used to allocate two closures per packet per hop
+   (one serialization-done event, one delivery event).  Both are now
+   preallocated once per link: [tx_done] reads the packet being
+   serialized from [tx_pkt] (the link serializes one packet at a time, so
+   a single slot suffices), and [deliver_front] pops a FIFO ring of
+   packets in propagation (the delay is constant per link, so deliveries
+   complete in the order they start — a ring is exact, not approximate).
+   Steady-state forwarding allocates nothing. *)
+
 type t = {
   sim : Engine.Sim.t;
   bandwidth : float;
@@ -8,67 +17,128 @@ type t = {
   mutable arrivals : int;
   mutable drops : int;
   mutable departures : int;
-  mutable bytes_out : float;
+  mutable bytes_out : int;
   mutable drop_hooks : (Packet.t -> unit) list;
   mutable departure_hooks : (Packet.t -> unit) list;
+  (* hot-path event reuse *)
+  mutable tx_pkt : Packet.t;  (* the packet currently serializing *)
+  mutable tx_done : unit -> unit;
+  mutable deliver_front : unit -> unit;
+  (* ring of packets in propagation, FIFO *)
+  mutable flight : Packet.t array;
+  mutable flight_head : int;
+  mutable flight_len : int;
 }
+
+(* Run hooks without the per-call closure a [List.iter (fun h -> h pkt)]
+   would allocate. *)
+let rec run_hooks hooks pkt =
+  match hooks with
+  | [] -> ()
+  | h :: rest ->
+    h pkt;
+    run_hooks rest pkt
+
+let flight_push t pkt =
+  let cap = Array.length t.flight in
+  if t.flight_len = cap then begin
+    let ncap = cap * 2 in
+    let a = Array.make ncap Packet.dummy in
+    for i = 0 to t.flight_len - 1 do
+      a.(i) <- t.flight.((t.flight_head + i) land (cap - 1))
+    done;
+    t.flight <- a;
+    t.flight_head <- 0
+  end;
+  let mask = Array.length t.flight - 1 in
+  t.flight.((t.flight_head + t.flight_len) land mask) <- pkt;
+  t.flight_len <- t.flight_len + 1
+
+let flight_pop t =
+  let mask = Array.length t.flight - 1 in
+  let pkt = t.flight.(t.flight_head) in
+  t.flight.(t.flight_head) <- Packet.dummy;
+  t.flight_head <- (t.flight_head + 1) land mask;
+  t.flight_len <- t.flight_len - 1;
+  pkt
+
+let tx_time t ~bytes = float_of_int (bytes * 8) /. t.bandwidth
+
+let transmit_next t =
+  match t.queue.Queue_intf.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt ->
+    t.busy <- true;
+    t.tx_pkt <- pkt;
+    Engine.Sim.after t.sim (tx_time t ~bytes:pkt.Packet.size) t.tx_done
 
 let make ~sim ~bandwidth ~delay ~queue =
   if bandwidth <= 0. then invalid_arg "Link.make: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.make: negative delay";
-  {
-    sim;
-    bandwidth;
-    delay;
-    queue;
-    busy = false;
-    deliver = (fun _ -> ());
-    arrivals = 0;
-    drops = 0;
-    departures = 0;
-    bytes_out = 0.;
-    drop_hooks = [];
-    departure_hooks = [];
-  }
+  let t =
+    {
+      sim;
+      bandwidth;
+      delay;
+      queue;
+      busy = false;
+      deliver = (fun _ -> ());
+      arrivals = 0;
+      drops = 0;
+      departures = 0;
+      bytes_out = 0;
+      drop_hooks = [];
+      departure_hooks = [];
+      tx_pkt = Packet.dummy;
+      tx_done = ignore;
+      deliver_front = ignore;
+      flight = Array.make 16 Packet.dummy;
+      flight_head = 0;
+      flight_len = 0;
+    }
+  in
+  t.deliver_front <- (fun () -> t.deliver (flight_pop t));
+  t.tx_done <-
+    (fun () ->
+      let pkt = t.tx_pkt in
+      t.tx_pkt <- Packet.dummy;
+      t.departures <- t.departures + 1;
+      t.bytes_out <- t.bytes_out + pkt.Packet.size;
+      run_hooks t.departure_hooks pkt;
+      (* Delivery is scheduled before the next serialization starts, so
+         if [delay] happens to equal a tx time the delivery event keeps
+         its historical FIFO priority at the tie. *)
+      if t.delay > 0. then begin
+        flight_push t pkt;
+        Engine.Sim.after t.sim t.delay t.deliver_front
+      end
+      else t.deliver pkt;
+      transmit_next t);
+  t
 
 let connect t deliver = t.deliver <- deliver
 let bandwidth t = t.bandwidth
 let delay t = t.delay
 let queue t = t.queue
-let tx_time t ~bytes = float_of_int (bytes * 8) /. t.bandwidth
-
-let rec transmit_next t =
-  match t.queue.Queue_intf.dequeue () with
-  | None -> t.busy <- false
-  | Some pkt ->
-    t.busy <- true;
-    let tx = tx_time t ~bytes:pkt.Packet.size in
-    Engine.Sim.after t.sim tx (fun () ->
-        t.departures <- t.departures + 1;
-        t.bytes_out <- t.bytes_out +. float_of_int pkt.Packet.size;
-        List.iter (fun hook -> hook pkt) t.departure_hooks;
-        let deliver () = t.deliver pkt in
-        if t.delay > 0. then Engine.Sim.after t.sim t.delay deliver
-        else deliver ();
-        transmit_next t)
 
 let send t pkt =
   t.arrivals <- t.arrivals + 1;
   match t.queue.Queue_intf.enqueue pkt with
   | Queue_intf.Dropped ->
     t.drops <- t.drops + 1;
-    List.iter (fun hook -> hook pkt) t.drop_hooks
+    run_hooks t.drop_hooks pkt
   | Queue_intf.Enqueued | Queue_intf.Marked ->
     if not t.busy then transmit_next t
 
 let arrivals t = t.arrivals
 let drops t = t.drops
 let departures t = t.departures
-let bytes_out t = t.bytes_out
+let bytes_out t = float_of_int t.bytes_out
 
 (* Fraction of the link's capacity used over [elapsed] wall-sim seconds. *)
 let utilization t ~elapsed =
-  if elapsed <= 0. then 0. else t.bytes_out *. 8. /. (t.bandwidth *. elapsed)
+  if elapsed <= 0. then 0.
+  else float_of_int t.bytes_out *. 8. /. (t.bandwidth *. elapsed)
 
 (* Own counters plus the queue discipline's, for the observability layer.
    Queue counters are prefixed with the discipline name. *)
@@ -77,7 +147,7 @@ let counters t =
     ("arrivals", t.arrivals);
     ("drops", t.drops);
     ("departures", t.departures);
-    ("bytes_out", int_of_float t.bytes_out);
+    ("bytes_out", t.bytes_out);
   ]
   @ List.map
       (fun (k, v) -> (t.queue.Queue_intf.name ^ "." ^ k, v))
@@ -106,5 +176,6 @@ let register_metrics t registry ~prefix =
       !sampled;
     Engine.Metrics.set util
       (utilization t ~elapsed:(Engine.Sim.now t.sim -. t0))
+
 let on_drop t hook = t.drop_hooks <- hook :: t.drop_hooks
 let on_departure t hook = t.departure_hooks <- hook :: t.departure_hooks

@@ -21,21 +21,21 @@ let set_default_route t link = t.default_route <- Some link
 let attach t ~flow handler = Hashtbl.replace t.agents flow handler
 let detach t ~flow = Hashtbl.remove t.agents flow
 
+(* Exception-style lookups: [Hashtbl.find_opt] allocates a [Some] per
+   delivery, and this runs once per packet per hop. *)
 let receive t (pkt : Packet.t) =
   if pkt.Packet.dst = t.id then begin
-    match Hashtbl.find_opt t.agents pkt.Packet.flow with
-    | Some handler -> handler pkt
-    | None -> t.discarded <- t.discarded + 1
+    match Hashtbl.find t.agents pkt.Packet.flow with
+    | handler -> handler pkt
+    | exception Not_found -> t.discarded <- t.discarded + 1
   end
   else begin
-    let link =
-      match Hashtbl.find_opt t.routes pkt.Packet.dst with
-      | Some _ as l -> l
-      | None -> t.default_route
-    in
-    match link with
-    | Some l -> Link.send l pkt
-    | None -> t.discarded <- t.discarded + 1
+    match Hashtbl.find t.routes pkt.Packet.dst with
+    | l -> Link.send l pkt
+    | exception Not_found -> (
+      match t.default_route with
+      | Some l -> Link.send l pkt
+      | None -> t.discarded <- t.discarded + 1)
   end
 
 let inject = receive

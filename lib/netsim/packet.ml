@@ -8,7 +8,7 @@ type tfrc_feedback = {
 
 type payload =
   | Plain
-  | Ack of { cum_seq : int; sack : (int * int) list }
+  | Ack of { mutable cum_seq : int; mutable sack : (int * int) list }
   | Rap_ack of { cum_seq : int; recv_rate : float }
   | Tfrc_data of { timestamp : float; rtt_estimate : float }
   | Tfrc_fb of tfrc_feedback
@@ -19,15 +19,16 @@ type payload =
     }
 
 type t = {
-  uid : int;
-  flow : int;
-  src : int;
-  dst : int;
-  size : int;
-  seq : int;
-  sent_at : float;
-  payload : payload;
+  mutable uid : int;
+  mutable flow : int;
+  mutable src : int;
+  mutable dst : int;
+  mutable size : int;
+  mutable seq : int;
+  mutable sent_at : float;
+  mutable payload : payload;
   mutable ecn : bool;
+  mutable pooled : bool;
 }
 
 (* Atomic so that simulations running on parallel domains (Engine.Pool)
@@ -35,10 +36,94 @@ type t = {
    no simulation logic depends on their values. *)
 let uid_counter = Atomic.make 0
 
+let dummy =
+  {
+    uid = 0;
+    flow = -1;
+    src = -1;
+    dst = -1;
+    size = 0;
+    seq = 0;
+    sent_at = 0.;
+    payload = Plain;
+    ecn = false;
+    pooled = false;
+  }
+
 let make ?(size = 1000) ?(seq = 0) ?(payload = Plain) ~flow ~src ~dst ~sent_at
     () =
   let uid = 1 + Atomic.fetch_and_add uid_counter 1 in
-  { uid; flow; src; dst; size; seq; sent_at; payload; ecn = false }
+  { uid; flow; src; dst; size; seq; sent_at; payload; ecn = false;
+    pooled = false }
+
+(* ------------------------------------------------------------------ *)
+(* Freelist                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-domain (Domain.DLS) so parallel Engine.Pool workers never share a
+   freelist; a packet is always allocated, consumed and released inside
+   one simulation, hence one domain.  A fixed-capacity array stack, not a
+   list: pushing must not cons. *)
+
+type freelist = { items : t array; mutable len : int }
+
+let freelist_capacity = 256
+
+let freelist_key =
+  Domain.DLS.new_key (fun () ->
+      { items = Array.make freelist_capacity dummy; len = 0 })
+
+let release p =
+  if p.pooled then begin
+    p.pooled <- false;
+    let fl = Domain.DLS.get freelist_key in
+    if fl.len < freelist_capacity then begin
+      Array.unsafe_set fl.items fl.len p;
+      fl.len <- fl.len + 1
+    end
+    (* Overflow: drop the packet; the GC reclaims it like any other. *)
+  end
+
+(* Take a packet shell from the freelist (or allocate one) and refill the
+   common fields.  [payload] is left untouched for the caller to reuse or
+   replace. *)
+let recycle ~size ~flow ~src ~dst ~sent_at =
+  let fl = Domain.DLS.get freelist_key in
+  if fl.len > 0 then begin
+    fl.len <- fl.len - 1;
+    let p = Array.unsafe_get fl.items fl.len in
+    Array.unsafe_set fl.items fl.len dummy;
+    p.uid <- 1 + Atomic.fetch_and_add uid_counter 1;
+    p.flow <- flow;
+    p.src <- src;
+    p.dst <- dst;
+    p.size <- size;
+    p.seq <- 0;
+    p.sent_at <- sent_at;
+    p.ecn <- false;
+    p.pooled <- true;
+    p
+  end
+  else begin
+    let p = make ~size ~flow ~src ~dst ~sent_at () in
+    p.pooled <- true;
+    p
+  end
+
+let alloc_ack ~size ~flow ~src ~dst ~sent_at ~cum_seq ~sack =
+  let p = recycle ~size ~flow ~src ~dst ~sent_at in
+  (match p.payload with
+  | Ack a ->
+    a.cum_seq <- cum_seq;
+    a.sack <- sack
+  | Plain | Rap_ack _ | Tfrc_data _ | Tfrc_fb _ | Tear_fb _ ->
+    p.payload <- Ack { cum_seq; sack });
+  p
+
+let alloc_tfrc_fb ~size ~flow ~src ~dst ~sent_at fb =
+  let p = recycle ~size ~flow ~src ~dst ~sent_at in
+  p.payload <- Tfrc_fb fb;
+  p
 
 let is_ack t =
   match t.payload with

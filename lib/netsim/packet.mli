@@ -1,7 +1,9 @@
 (** Simulated packets.
 
-    Packets are immutable apart from ECN marking; transport-specific control
-    information rides in [payload]. *)
+    Fields are mutable so the pooled allocators ({!alloc_ack},
+    {!alloc_tfrc_fb}) can reuse released shells in place, but outside the
+    pool machinery a packet must be treated as immutable apart from ECN
+    marking; transport-specific control information rides in [payload]. *)
 
 type tfrc_feedback = {
   loss_event_rate : float;  (** receiver's current loss-event rate estimate *)
@@ -14,8 +16,9 @@ type tfrc_feedback = {
 type payload =
   | Plain
   | Ack of {
-      cum_seq : int;  (** cumulative: all seq < cum_seq received *)
-      sack : (int * int) list;
+      mutable cum_seq : int;
+          (** cumulative: all seq < cum_seq received *)
+      mutable sack : (int * int) list;
           (** selective-ack blocks [lo, hi), newest first, at most 3 *)
     }
   | Rap_ack of { cum_seq : int; recv_rate : float }
@@ -28,16 +31,22 @@ type payload =
     }
 
 type t = {
-  uid : int;  (** globally unique *)
-  flow : int;  (** flow identifier; sinks dispatch on this *)
-  src : int;  (** source node id *)
-  dst : int;  (** destination node id *)
-  size : int;  (** bytes on the wire *)
-  seq : int;  (** data sequence number, in packets *)
-  sent_at : float;  (** transport send time (for RTT sampling) *)
-  payload : payload;
+  mutable uid : int;  (** globally unique *)
+  mutable flow : int;  (** flow identifier; sinks dispatch on this *)
+  mutable src : int;  (** source node id *)
+  mutable dst : int;  (** destination node id *)
+  mutable size : int;  (** bytes on the wire *)
+  mutable seq : int;  (** data sequence number, in packets *)
+  mutable sent_at : float;  (** transport send time (for RTT sampling) *)
+  mutable payload : payload;
   mutable ecn : bool;  (** congestion-experienced mark *)
+  mutable pooled : bool;
+      (** freelist bookkeeping: true while a pooled packet is live; do
+          not touch outside {!release} *)
 }
+
+(** A zero/placeholder packet for preallocated slots (never transmitted). *)
+val dummy : t
 
 (** [make ()] allocates a fresh uid.  Defaults: [size = 1000] bytes,
     [payload = Plain], [seq = 0]. *)
@@ -51,6 +60,33 @@ val make :
   sent_at:float ->
   unit ->
   t
+
+(** {2 Pooled allocation}
+
+    Receivers emit one ack (or feedback) per data packet; these
+    constructors draw the packet shell from a per-domain freelist and —
+    for acks — mutate the payload in place, so the steady-state re-emit
+    path allocates nothing.  The consumer that finishes with a pooled
+    packet calls {!release} to return it; a missed release is harmless
+    (the GC reclaims it), a double release is a guarded no-op. *)
+
+val alloc_ack :
+  size:int ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  sent_at:float ->
+  cum_seq:int ->
+  sack:(int * int) list ->
+  t
+
+val alloc_tfrc_fb :
+  size:int -> flow:int -> src:int -> dst:int -> sent_at:float ->
+  tfrc_feedback -> t
+
+(** Return a pooled packet to the freelist.  No-op on packets not made by
+    the pooled allocators or already released. *)
+val release : t -> unit
 
 val is_ack : t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+(** Growable ring-buffer FIFO of packets; enqueue/dequeue never cons
+    (unlike [Stdlib.Queue]), apart from the [option] a [take_opt] returns
+    to match [Queue_intf.dequeue]. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val add : t -> Packet.t -> unit
+val take_opt : t -> Packet.t option

@@ -21,12 +21,15 @@ let default_params =
     mean_pkt_tx_time = 0.001;
   }
 
+(* [avg] and [idle_since] live in a floatarray cell: a mutable float field
+   in this mixed record would box on every store, and [avg] is updated once
+   per arrival.  [idle_since] uses nan as "not idle". *)
 type state = {
-  q : Packet.t Queue.t;
+  q : Pktq.t;
   mutable bytes : int;
-  mutable avg : float;
+  avg : floatarray;
   mutable count : int;
-  mutable idle_since : float option;  (** Some t when the queue is empty *)
+  idle_since : floatarray;  (** nan when busy, else the time the queue emptied *)
   (* cumulative counters for the observability layer *)
   mutable n_enqueued : int;
   mutable n_early_drop : int;  (** probabilistic (RED) drops *)
@@ -40,11 +43,11 @@ let make_with_introspection ~sim ~rng p =
     invalid_arg "Red.make: need 0 < min_th < max_th";
   let s =
     {
-      q = Queue.create ();
+      q = Pktq.create ();
       bytes = 0;
-      avg = 0.;
+      avg = Float.Array.make 1 0.;
       count = -1;
-      idle_since = Some 0.;
+      idle_since = Float.Array.make 1 0.;
       n_enqueued = 0;
       n_early_drop = 0;
       n_forced_drop = 0;
@@ -52,21 +55,26 @@ let make_with_introspection ~sim ~rng p =
       peak_pkts = 0;
     }
   in
+  let get_avg () = Float.Array.unsafe_get s.avg 0 in
+  let set_avg v = Float.Array.unsafe_set s.avg 0 v in
   let update_avg () =
-    match s.idle_since with
-    | Some t0 ->
+    let t0 = Float.Array.unsafe_get s.idle_since 0 in
+    if Float.is_nan t0 then
+      set_avg
+        (get_avg () +. (p.w_q *. (float_of_int (Pktq.length s.q) -. get_avg ())))
+    else begin
       (* Decay the average as if the queue had been draining small packets
          during the idle period. *)
       let m = (Engine.Sim.now sim -. t0) /. p.mean_pkt_tx_time in
-      s.avg <- s.avg *. ((1. -. p.w_q) ** m);
-      s.idle_since <- None
-    | None ->
-      s.avg <- s.avg +. (p.w_q *. (float_of_int (Queue.length s.q) -. s.avg))
+      set_avg (get_avg () *. ((1. -. p.w_q) ** m));
+      Float.Array.unsafe_set s.idle_since 0 Float.nan
+    end
   in
   (* Decide the fate of an arrival once the average is up to date.  Returns
      the probabilistic verdict; the caller still enforces buffer overflow. *)
   let early_verdict () : Queue_intf.action =
-    if s.avg < p.min_th then begin
+    let avg = get_avg () in
+    if avg < p.min_th then begin
       s.count <- -1;
       Queue_intf.Enqueued
     end
@@ -82,11 +90,10 @@ let make_with_introspection ~sim ~rng p =
         end
         else Queue_intf.Enqueued
       in
-      if s.avg < p.max_th then
-        uniformized (p.max_p *. (s.avg -. p.min_th) /. (p.max_th -. p.min_th))
-      else if p.gentle && s.avg < 2. *. p.max_th then
-        uniformized
-          (p.max_p +. ((1. -. p.max_p) *. (s.avg -. p.max_th) /. p.max_th))
+      if avg < p.max_th then
+        uniformized (p.max_p *. (avg -. p.min_th) /. (p.max_th -. p.min_th))
+      else if p.gentle && avg < 2. *. p.max_th then
+        uniformized (p.max_p +. ((1. -. p.max_p) *. (avg -. p.max_th) /. p.max_th))
       else begin
         (* Average beyond the (gentle) ceiling: forced drop even with ECN. *)
         s.count <- 0;
@@ -95,14 +102,14 @@ let make_with_introspection ~sim ~rng p =
     end
   in
   let admit pkt =
-    Queue.add pkt s.q;
+    Pktq.add s.q pkt;
     s.bytes <- s.bytes + pkt.Packet.size;
     s.n_enqueued <- s.n_enqueued + 1;
-    if Queue.length s.q > s.peak_pkts then s.peak_pkts <- Queue.length s.q
+    if Pktq.length s.q > s.peak_pkts then s.peak_pkts <- Pktq.length s.q
   in
   let enqueue (pkt : Packet.t) : Queue_intf.action =
     update_avg ();
-    if Queue.length s.q >= p.capacity then begin
+    if Pktq.length s.q >= p.capacity then begin
       s.count <- 0;
       s.n_forced_drop <- s.n_forced_drop + 1;
       Queue_intf.Dropped
@@ -123,11 +130,12 @@ let make_with_introspection ~sim ~rng p =
     end
   in
   let dequeue () =
-    match Queue.take_opt s.q with
+    match Pktq.take_opt s.q with
     | None -> None
     | Some pkt ->
       s.bytes <- s.bytes - pkt.Packet.size;
-      if Queue.is_empty s.q then s.idle_since <- Some (Engine.Sim.now sim);
+      if Pktq.is_empty s.q then
+        Float.Array.unsafe_set s.idle_since 0 (Engine.Sim.now sim);
       Some pkt
   in
   let queue =
@@ -135,7 +143,7 @@ let make_with_introspection ~sim ~rng p =
       Queue_intf.name = "red";
       enqueue;
       dequeue;
-      pkts = (fun () -> Queue.length s.q);
+      pkts = (fun () -> Pktq.length s.q);
       bytes = (fun () -> s.bytes);
       counters =
         (fun () ->
@@ -148,6 +156,6 @@ let make_with_introspection ~sim ~rng p =
           ]);
     }
   in
-  (queue, fun () -> s.avg)
+  (queue, fun () -> Float.Array.get s.avg 0)
 
 let make ~sim ~rng p = fst (make_with_introspection ~sim ~rng p)

@@ -1,0 +1,236 @@
+(* Calendar-queue unit tests plus the heap/calendar equivalence suite
+   that gates the default-scheduler flip: both queues must pop the same
+   (time, id) stream in the identical order, FIFO ties included. *)
+
+module Cq = Engine.Calendar_queue
+module Eh = Engine.Event_heap
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_empty () =
+  let q = Cq.create () in
+  Alcotest.(check bool) "empty" true (Cq.is_empty q);
+  Alcotest.(check int) "size" 0 (Cq.size q);
+  Alcotest.(check bool) "pop none" true (Cq.pop q = None);
+  Alcotest.(check bool) "peek none" true (Cq.peek_time q = None);
+  Alcotest.(check bool) "min_time empty is nan" true
+    (Float.is_nan (Cq.min_time q));
+  Alcotest.check_raises "take empty"
+    (Invalid_argument "Calendar_queue.take: empty queue") (fun () ->
+      ignore (Cq.take q))
+
+let test_ordering () =
+  let q = Cq.create () in
+  List.iter (fun t -> Cq.add q ~time:t t) [ 5.; 1.; 3.; 2.; 4. ];
+  let rec drain acc =
+    match Cq.pop q with
+    | None -> List.rev acc
+    | Some (t, _) -> drain (t :: acc)
+  in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] (drain [])
+
+let test_fifo_ties () =
+  let q = Cq.create () in
+  List.iter (fun v -> Cq.add q ~time:1. v) [ "a"; "b"; "c" ];
+  Cq.add q ~time:0.5 "first";
+  let pop () =
+    match Cq.pop q with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "unexpected empty queue"
+  in
+  Alcotest.(check string) "earliest" "first" (pop ());
+  Alcotest.(check string) "fifo a" "a" (pop ());
+  Alcotest.(check string) "fifo b" "b" (pop ());
+  Alcotest.(check string) "fifo c" "c" (pop ())
+
+let test_take_min_time () =
+  let q = Cq.create () in
+  List.iter
+    (fun (t, v) -> Cq.add q ~time:t v)
+    [ (2., "b"); (1., "a"); (3., "c") ];
+  check_float "min_time" 1. (Cq.min_time q);
+  Alcotest.(check string) "take min" "a" (Cq.take q);
+  check_float "min_time after take" 2. (Cq.min_time q);
+  Alcotest.(check string) "take next" "b" (Cq.take q);
+  Alcotest.(check string) "take last" "c" (Cq.take q);
+  Alcotest.(check bool) "empty again" true (Cq.is_empty q)
+
+let test_rejects_bad_times () =
+  let q = Cq.create () in
+  let exn =
+    Invalid_argument "Calendar_queue.add: time must be finite and non-negative"
+  in
+  Alcotest.check_raises "nan" exn (fun () -> Cq.add q ~time:Float.nan ());
+  Alcotest.check_raises "inf" exn (fun () -> Cq.add q ~time:Float.infinity ());
+  Alcotest.check_raises "negative" exn (fun () -> Cq.add q ~time:(-1.) ())
+
+let test_clear () =
+  let q = Cq.create () in
+  for i = 1 to 100 do
+    Cq.add q ~time:(float_of_int i *. 0.25) i
+  done;
+  Cq.clear q;
+  Alcotest.(check bool) "cleared" true (Cq.is_empty q);
+  (* Reusable after clear. *)
+  Cq.add q ~time:2. 2;
+  Cq.add q ~time:1. 1;
+  Alcotest.(check int) "first after clear" 1 (Cq.take q);
+  Alcotest.(check int) "second after clear" 2 (Cq.take q)
+
+let test_resize_grows_and_shrinks () =
+  let q = Cq.create () in
+  let nb0 = Cq.buckets q in
+  for i = 0 to 9999 do
+    Cq.add q ~time:(float_of_int i *. 1e-4) i
+  done;
+  Alcotest.(check bool) "buckets grew" true (Cq.buckets q > nb0);
+  Alcotest.(check bool) "width adapted" true (Cq.width q > 0.);
+  let prev = ref (-1.) in
+  for i = 0 to 9999 do
+    let t = Cq.min_time q in
+    Alcotest.(check bool) "monotone" true (t >= !prev);
+    prev := t;
+    let v = Cq.take q in
+    Alcotest.(check int) "payload order survives resizes" i v
+  done;
+  Alcotest.(check bool) "buckets shrank back" true (Cq.buckets q <= nb0 * 2)
+
+let test_sparse_horizon () =
+  (* Events much farther apart than a bucket year: the direct-search
+     fallback must still find the minimum. *)
+  let q = Cq.create () in
+  List.iter
+    (fun t -> Cq.add q ~time:t t)
+    [ 1000.; 0.001; 500.; 0.002; 250. ];
+  let rec drain acc =
+    match Cq.pop q with
+    | None -> List.rev acc
+    | Some (t, _) -> drain (t :: acc)
+  in
+  Alcotest.(check (list (float 0.)))
+    "sparse sorted"
+    [ 0.001; 0.002; 250.; 500.; 1000. ]
+    (drain [])
+
+(* Drive both queues with one randomized (add | pop) stream obeying the
+   simulator's contract (never add behind the last popped time), with
+   times quantized so FIFO ties are frequent, and assert identical pop
+   sequences. *)
+let equivalence_run ~seed ~ops ~quantum =
+  let st = Random.State.make [| seed |] in
+  let h = Eh.create () in
+  let c = Cq.create () in
+  let last = ref 0. in
+  let next_id = ref 0 in
+  let check_pop () =
+    match (Eh.pop h, Cq.pop c) with
+    | None, None -> ()
+    | Some (th, vh), Some (tc, vc) ->
+        if th <> tc || vh <> vc then
+          Alcotest.failf "pop mismatch: heap (%g, %d) vs calendar (%g, %d)" th
+            vh tc vc;
+        last := th
+    | Some _, None -> Alcotest.fail "calendar empty while heap is not"
+    | None, Some _ -> Alcotest.fail "heap empty while calendar is not"
+  in
+  for _ = 1 to ops do
+    if Random.State.int st 3 < 2 || Eh.is_empty h then begin
+      let dt = float_of_int (Random.State.int st 50) *. quantum in
+      let time = !last +. dt in
+      let id = !next_id in
+      incr next_id;
+      Eh.add h ~time id;
+      Cq.add c ~time id
+    end
+    else check_pop ();
+    if Eh.size h <> Cq.size c then Alcotest.fail "size mismatch"
+  done;
+  while not (Eh.is_empty h) || not (Cq.is_empty c) do
+    check_pop ()
+  done
+
+let test_equivalence_dense () = equivalence_run ~seed:7 ~ops:20_000 ~quantum:1e-4
+
+let test_equivalence_ties () =
+  (* quantum 0 degenerates every add to the same timestamp: a pure FIFO
+     stress across resizes. *)
+  equivalence_run ~seed:11 ~ops:5_000 ~quantum:0.
+
+let test_equivalence_sparse () =
+  equivalence_run ~seed:13 ~ops:5_000 ~quantum:10.
+
+let prop_equivalence =
+  QCheck2.Test.make ~name:"calendar pops exactly like heap" ~count:50
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 1_000))
+    (fun (seed, ops) ->
+      equivalence_run ~seed ~ops ~quantum:1e-3;
+      true)
+
+(* The user-facing property the tentpole promises: a Sim behaves
+   identically whichever queue backs it. *)
+let run_schedule sched times until =
+  let sim = Engine.Sim.create ~sched () in
+  let order = ref [] in
+  List.iteri
+    (fun i t -> Engine.Sim.at sim t (fun () -> order := i :: !order))
+    times;
+  Engine.Sim.run ~until sim;
+  (Engine.Sim.now sim, Engine.Sim.events_processed sim, List.rev !order)
+
+let prop_sim_parks_identically =
+  QCheck2.Test.make ~name:"Sim.run ~until parks clock identically" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 50)
+           (map (fun k -> float_of_int k *. 0.05) (int_range 0 400)))
+        (map (fun k -> float_of_int k *. 0.05) (int_range 0 500)))
+    (fun (times, until) ->
+      run_schedule Engine.Scheduler.Heap times until
+      = run_schedule Engine.Scheduler.Calendar times until)
+
+let test_sim_scheduler_selection () =
+  let heap = Engine.Sim.create ~sched:Engine.Scheduler.Heap () in
+  let cal = Engine.Sim.create ~sched:Engine.Scheduler.Calendar () in
+  Alcotest.(check bool)
+    "explicit heap" true
+    (Engine.Sim.scheduler heap = Engine.Scheduler.Heap);
+  Alcotest.(check bool)
+    "explicit calendar" true
+    (Engine.Sim.scheduler cal = Engine.Scheduler.Calendar);
+  let dflt = Engine.Sim.create () in
+  Alcotest.(check bool)
+    "default follows Scheduler.get_default" true
+    (Engine.Sim.scheduler dflt = Engine.Scheduler.get_default ())
+
+let test_scheduler_strings () =
+  Alcotest.(check string) "heap" "heap"
+    (Engine.Scheduler.to_string Engine.Scheduler.Heap);
+  Alcotest.(check string) "calendar" "calendar"
+    (Engine.Scheduler.to_string Engine.Scheduler.Calendar);
+  Alcotest.(check bool) "parse heap" true
+    (Engine.Scheduler.of_string "Heap" = Some Engine.Scheduler.Heap);
+  Alcotest.(check bool) "parse cal" true
+    (Engine.Scheduler.of_string "cal" = Some Engine.Scheduler.Calendar);
+  Alcotest.(check bool) "parse junk" true
+    (Engine.Scheduler.of_string "splay" = None)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "time ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
+    Alcotest.test_case "take and min_time" `Quick test_take_min_time;
+    Alcotest.test_case "rejects bad times" `Quick test_rejects_bad_times;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "resize policy" `Quick test_resize_grows_and_shrinks;
+    Alcotest.test_case "sparse horizon fallback" `Quick test_sparse_horizon;
+    Alcotest.test_case "equivalence: dense" `Quick test_equivalence_dense;
+    Alcotest.test_case "equivalence: all ties" `Quick test_equivalence_ties;
+    Alcotest.test_case "equivalence: sparse" `Quick test_equivalence_sparse;
+    QCheck_alcotest.to_alcotest prop_equivalence;
+    QCheck_alcotest.to_alcotest prop_sim_parks_identically;
+    Alcotest.test_case "Sim scheduler selection" `Quick
+      test_sim_scheduler_selection;
+    Alcotest.test_case "Scheduler string round-trip" `Quick
+      test_scheduler_strings;
+  ]

@@ -161,8 +161,45 @@ let prop_red_never_exceeds_capacity =
       done;
       !ok)
 
+let test_pktq_growth_wrapped () =
+  (* Drive the ring through growth while head is mid-array: interleaved
+     add/take leaves head offset, then a burst forces the re-linearizing
+     resize.  FIFO order must survive, across several growth doublings. *)
+  let q = Netsim.Pktq.create () in
+  let next_in = ref 0 and next_out = ref 0 in
+  let add () =
+    Netsim.Pktq.add q (mk_pkt !next_in);
+    incr next_in
+  in
+  let take () =
+    match Netsim.Pktq.take_opt q with
+    | Some p ->
+      Alcotest.(check int) "fifo order" !next_out p.Netsim.Packet.seq;
+      incr next_out
+    | None -> Alcotest.fail "unexpected empty"
+  in
+  for _ = 1 to 10 do
+    add ()
+  done;
+  for _ = 1 to 7 do
+    take ()
+  done;
+  (* head is now 7 in a 16-slot ring; this burst wraps and then grows. *)
+  for _ = 1 to 200 do
+    add ()
+  done;
+  while not (Netsim.Pktq.is_empty q) do
+    take ()
+  done;
+  Alcotest.(check int) "drained everything" !next_in !next_out;
+  match Netsim.Pktq.take_opt q with
+  | None -> ()
+  | Some _ -> Alcotest.fail "take on empty ring returned a packet"
+
 let suite =
   [
+    Alcotest.test_case "pktq growth with wrapped head" `Quick
+      test_pktq_growth_wrapped;
     Alcotest.test_case "droptail fifo" `Quick test_droptail_fifo;
     Alcotest.test_case "droptail capacity" `Quick test_droptail_capacity;
     Alcotest.test_case "droptail byte accounting" `Quick test_droptail_bytes;

@@ -102,6 +102,23 @@ let test_resume_after_until () =
   Engine.Sim.run ~until:3. sim;
   Alcotest.(check bool) "fired on resume" true !fired
 
+let test_every_no_drift () =
+  (* Regression: ticks must land exactly on base +. k *. interval.  The old
+     accumulated form (next <- next +. interval) drifts by ~1e-8 over 1e6
+     ticks of 1e-3, which the exact float equality below would catch. *)
+  let sim = Engine.Sim.create () in
+  let interval = 1e-3 in
+  let ticks = 1_000_000 in
+  let k = ref 0 in
+  let exact = ref true in
+  Engine.Sim.every sim ~interval ~stop:(float_of_int ticks *. interval)
+    (fun () ->
+      incr k;
+      if Engine.Sim.now sim <> float_of_int !k *. interval then exact := false);
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "every tick on the exact grid" true !exact;
+  Alcotest.(check int) "tick count" ticks !k
+
 let test_same_time_fifo () =
   let sim = Engine.Sim.create () in
   let log = ref [] in
@@ -122,6 +139,8 @@ let suite =
     Alcotest.test_case "every" `Quick test_every;
     Alcotest.test_case "every rejects bad interval" `Quick test_every_bad_interval;
     Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "every stays on grid over 1e6 ticks" `Slow
+      test_every_no_drift;
     Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
     Alcotest.test_case "resume after until" `Quick test_resume_after_until;
     Alcotest.test_case "same-time FIFO" `Quick test_same_time_fifo;
