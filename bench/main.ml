@@ -13,6 +13,7 @@ let () =
   let quick = ref false and only = ref [] and perf = ref false in
   let quick_micro = ref false and validate = ref false in
   let outdir = ref "" in
+  let cache_dir = ref "" and no_cache = ref false in
   let jobs = ref (Engine.Pool.default_jobs ()) in
   let args =
     [
@@ -45,6 +46,13 @@ let () =
       ( "--outdir",
         Arg.Set_string outdir,
         "also write each table as <dir>/<id>.csv" );
+      ( "--cache-dir",
+        Arg.Set_string cache_dir,
+        "DIR reuse results from (and store new results into) a \
+         content-addressed cache under DIR" );
+      ( "--no-cache",
+        Arg.Set no_cache,
+        "ignore --cache-dir: simulate everything from scratch" );
     ]
   in
   Arg.parse args
@@ -64,19 +72,36 @@ let () =
       if !outdir <> "" then
         ignore (Slowcc.Table.save_csv ~dir:!outdir table)
     in
+    let cache =
+      if !cache_dir = "" || !no_cache then None
+      else Some (Slowcc.Result_cache.create ~dir:!cache_dir ())
+    in
     Engine.Pool.with_pool ~jobs:!jobs (fun pool ->
         match !only with
-        | [] -> ignore (Slowcc.Experiments.all ~emit ~quick:!quick ~pool ())
+        | [] ->
+          ignore
+            (Slowcc.Experiments.all ~emit ~quick:!quick ~pool ?cache
+               ~now:Unix.gettimeofday ())
         | names ->
           List.iter
             (fun name ->
-              match Slowcc.Experiments.run_by_name ~quick:!quick ~pool name with
+              match
+                Slowcc.Experiments.run_cached ~quick:!quick ~pool ?cache
+                  ~now:Unix.gettimeofday name
+              with
               | Some tables -> List.iter emit tables
               | None ->
                 failed := true;
                 Format.eprintf "unknown experiment %s (known: %s)@." name
                   (String.concat ", " Slowcc.Experiments.names))
             (List.rev names));
+    Option.iter
+      (fun c ->
+        Format.fprintf fmt "@.cache: %d hit(s), %d miss(es) under %s@."
+          (Slowcc.Result_cache.hits c)
+          (Slowcc.Result_cache.misses c)
+          !cache_dir)
+      cache;
     Format.fprintf fmt "@.total wall time: %.1f s (jobs=%d)@."
       (Unix.gettimeofday () -. t0)
       (Engine.Pool.clamp_jobs !jobs);

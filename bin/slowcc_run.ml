@@ -83,6 +83,42 @@ let emit_arg =
           "Table format(s) written under --out-dir: $(b,csv), $(b,jsonl) or \
            $(b,both) (default).  Ignored without --out-dir.")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ]
+        ~env:(Cmd.Env.info "SLOWCC_CACHE_DIR")
+        ~docv:"DIR"
+        ~doc:
+          "Content-addressed result cache: re-running an experiment with \
+           the same binary, id, --quick flag and parameters replays the \
+           stored (digest-verified) tables instead of re-simulating.  \
+           Scheduler and --jobs are not part of the key — results are \
+           byte-identical either way.  The directory also persists per-job \
+           timings that order parallel sweeps longest-first.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Ignore --cache-dir / $(b,SLOWCC_CACHE_DIR): neither read nor \
+           write cache entries for this invocation.")
+
+(* The cache handle for one invocation, or [None] when caching is off. *)
+let open_cache ~cache_dir ~no_cache =
+  match cache_dir with
+  | Some dir when not no_cache -> Some (Slowcc.Result_cache.create ~dir ())
+  | _ -> None
+
+let report_cache =
+  Option.iter (fun cache ->
+      Format.eprintf "cache: %d hit(s), %d miss(es) under %s@."
+        (Slowcc.Result_cache.hits cache)
+        (Slowcc.Result_cache.misses cache)
+        (Slowcc.Result_cache.dir cache))
+
 let list_cmd =
   let run () =
     List.iter print_endline Slowcc.Experiments.names;
@@ -98,15 +134,18 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig7.")
   in
-  let run verbose quick jobs sched out_dir emit name =
+  let run verbose quick jobs sched out_dir emit cache_dir no_cache name =
     setup_logs verbose;
     apply_sched sched;
+    let cache = open_cache ~cache_dir ~no_cache in
     Engine.Pool.with_pool ~jobs (fun pool ->
         let result =
           match out_dir with
-          | None -> Slowcc.Experiments.run_by_name ~quick ~pool name
+          | None ->
+            Slowcc.Experiments.run_cached ~quick ~pool ?cache
+              ~now:Unix.gettimeofday name
           | Some dir ->
-            Slowcc.Experiments.run_to_dir ~quick ~pool ~emit
+            Slowcc.Experiments.run_to_dir ~quick ~pool ?cache ~emit
               ~now:Unix.gettimeofday ~dir ~jobs name
             |> Option.map (fun (manifest_path, tables) ->
                    Format.eprintf "wrote %s@." manifest_path;
@@ -115,6 +154,7 @@ let run_cmd =
         match result with
         | Some tables ->
           List.iter (Slowcc.Table.print fmt) tables;
+          report_cache cache;
           0
         | None ->
           Format.eprintf "unknown experiment %s; try 'slowcc_run list'@." name;
@@ -124,28 +164,78 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
     Term.(
       const run $ verbose_arg $ quick_arg $ jobs_arg $ sched_arg $ out_dir_arg
-      $ emit_arg $ name_arg)
+      $ emit_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
 
 let all_cmd =
-  let run quick jobs sched out_dir emit =
+  let run quick jobs sched out_dir emit cache_dir no_cache =
     apply_sched sched;
+    let cache = open_cache ~cache_dir ~no_cache in
     Engine.Pool.with_pool ~jobs (fun pool ->
-        match out_dir with
+        (match out_dir with
         | None ->
           List.iter (Slowcc.Table.print fmt)
-            (Slowcc.Experiments.all ~quick ~pool ())
+            (Slowcc.Experiments.all ~quick ~pool ?cache ~now:Unix.gettimeofday
+               ())
         | Some dir ->
           let manifest_path, _tables =
             Slowcc.Experiments.all_to_dir
               ~stream:(Slowcc.Table.print fmt)
-              ~quick ~pool ~emit ~now:Unix.gettimeofday ~dir ~jobs ()
+              ~quick ~pool ?cache ~emit ~now:Unix.gettimeofday ~dir ~jobs ()
           in
           Format.eprintf "wrote %s@." manifest_path);
+        report_cache cache);
     0
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in figure order")
-    Term.(const run $ quick_arg $ jobs_arg $ sched_arg $ out_dir_arg $ emit_arg)
+    Term.(
+      const run $ quick_arg $ jobs_arg $ sched_arg $ out_dir_arg $ emit_arg
+      $ cache_dir_arg $ no_cache_arg)
+
+(* [cache stats]/[cache clear] operate on the directory directly (no
+   cache handle): they must work for caches written by other binaries. *)
+let cache_dir_required =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "cache-dir" ]
+        ~env:(Cmd.Env.info "SLOWCC_CACHE_DIR")
+        ~docv:"DIR" ~doc:"Cache directory to inspect or clear.")
+
+let cache_stats_cmd =
+  let run dir =
+    let s = Slowcc.Result_cache.stats ~dir in
+    Format.printf "dir:         %s@." dir;
+    Format.printf "entries:     %d (%d bytes)@." s.Slowcc.Result_cache.entries
+      s.Slowcc.Result_cache.entry_bytes;
+    Format.printf "timings:     %d job(s)@." s.Slowcc.Result_cache.timing_entries;
+    Format.printf "fingerprint: %s (this binary)@."
+      (Slowcc.Result_cache.self_fingerprint ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show entry count, size and timing-store size")
+    Term.(const run $ cache_dir_required)
+
+let cache_clear_cmd =
+  let run dir =
+    let s = Slowcc.Result_cache.stats ~dir in
+    Slowcc.Result_cache.clear ~dir;
+    Format.printf "cleared %d entr(ies) and the timing store under %s@."
+      s.Slowcc.Result_cache.entries dir;
+    0
+  in
+  Cmd.v
+    (Cmd.info "clear" ~doc:"Delete every cache entry and the timing store")
+    Term.(const run $ cache_dir_required)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear a result cache directory (see --cache-dir on \
+          run/all)")
+    [ cache_stats_cmd; cache_clear_cmd ]
 
 let protocol_conv =
   let parse s =
@@ -248,6 +338,6 @@ let main =
        ~doc:
          "Reproduction driver for 'Dynamic Behavior of Slowly-Responsive \
           Congestion Control Algorithms' (SIGCOMM 2001)")
-    [ list_cmd; run_cmd; all_cmd; compete_cmd ]
+    [ list_cmd; run_cmd; all_cmd; compete_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -11,16 +11,45 @@ let fpct = Table.fpct
 (* reassembled in submission order.                                    *)
 (* ------------------------------------------------------------------ *)
 
-let pmap ?pool f xs =
-  match pool with
-  | None -> List.map f xs
-  | Some pool -> Engine.Pool.map_list pool f xs
+(* Timing scope of the experiment currently running, installed by
+   [run_cached] around the dispatch.  When set, every batch wraps its jobs
+   to measure wall time per job (recorded into the cache's timing store)
+   and feeds the previous run's measurements to the pool as cost
+   estimates, so batches execute longest-first.  Estimates are advisory:
+   they order execution, never results, so a stale or racing read of this
+   ref (nested batches run on worker domains) is harmless. *)
+let current_scope : Result_cache.scope option ref = ref None
+
+let with_scope scope f =
+  current_scope := Some scope;
+  Fun.protect ~finally:(fun () -> current_scope := None) f
 
 (* Keyed form: run [(key, thunk)] jobs, get [(key, result)] in order. *)
 let prun ?pool jobs =
-  match pool with
-  | None -> List.map (fun (k, f) -> (k, f ())) jobs
-  | Some pool -> Engine.Pool.run_jobs pool jobs
+  match (pool, !current_scope) with
+  | None, _ -> List.map (fun (k, f) -> (k, f ())) jobs
+  | Some pool, None -> Engine.Pool.run_jobs pool jobs
+  | Some pool, Some scope ->
+    let cache = Result_cache.scope_cache scope in
+    let now = Result_cache.scope_now scope in
+    let tkeys = Result_cache.alloc_keys scope (List.length jobs) in
+    let timed =
+      List.map2
+        (fun tkey (k, f) ->
+          ( (tkey, k),
+            fun () ->
+              let t0 = now () in
+              let r = f () in
+              Result_cache.record cache tkey (now () -. t0);
+              r ))
+        tkeys jobs
+    in
+    let cost (tkey, _) = Result_cache.estimate cache tkey in
+    Engine.Pool.run_jobs pool ~cost timed
+    |> List.map (fun ((_, k), r) -> (k, r))
+
+let pmap ?pool f xs =
+  List.map snd (prun ?pool (List.mapi (fun i x -> (i, fun () -> f x)) xs))
 
 (* Scenario bandwidths.  The paper gives 15 Mbps for the 3:1 oscillation
    experiments; for the others we size the link so that steady-state
@@ -1021,52 +1050,14 @@ let run_by_name ?(quick = false) ?pool name =
   | "ablation-10to1-fairness" -> Some [ ablation_10to1_fairness ~quick ?pool () ]
   | _ -> None
 
-let all ?emit ?(quick = false) ?pool () =
-  let acc = ref [] in
-  let push table =
-    (match emit with Some f -> f table | None -> ());
-    acc := table :: !acc
-  in
-  let push2 (a, b) =
-    push a;
-    push b
-  in
-  push (fig3 ~quick ?pool ());
-  push2 (fig4_fig5 ~quick ?pool ());
-  push (fig6 ~quick ?pool ());
-  push (fig7 ~quick ?pool ());
-  push (fig8 ~quick ?pool ());
-  push (fig9 ~quick ?pool ());
-  push (fig10 ~quick ?pool ());
-  push (fig11 ~quick ?pool ());
-  push (fig12 ~quick ?pool ());
-  push (fig13 ~quick ?pool ());
-  push2 (fig14_fig15 ~quick ?pool ());
-  push (fig16 ~quick ?pool ());
-  push (fig17 ~quick ?pool ());
-  push (fig18 ~quick ?pool ());
-  push (fig19 ~quick ?pool ());
-  push (fig20 ~quick ?pool ());
-  push (Transient.table ~quick ?pool ());
-  push (ablation_self_clocking ~quick ?pool ());
-  push (ablation_conservative_c ~quick ?pool ());
-  push (ablation_droptail ~quick ?pool ());
-  push (ablation_sawtooth ~quick ?pool ());
-  push (ablation_response_sim ~quick ?pool ());
-  push (ablation_rtt_fairness ~quick ?pool ());
-  push (ablation_binomial_l ~quick ?pool ());
-  push (ablation_queue_dynamics ~quick ?pool ());
-  push (ablation_10to1_fairness ~quick ?pool ());
-  List.rev !acc
-
 (* ------------------------------------------------------------------ *)
-(* Manifested runs                                                     *)
+(* Manifested and cached runs                                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Scenario parameters recorded in run manifests.  Only the knobs that
    shape the named experiment are listed — everything else is a fixed
    constant of the scenario code, already pinned by the table digests. *)
-let params ?(quick = false) name =
+let params_one ?(quick = false) name =
   let open Engine.Json in
   let floats xs = List (List.map (fun v -> Float v) xs) in
   let bw v = ("bandwidth_bps", Float v) in
@@ -1091,29 +1082,103 @@ let params ?(quick = false) name =
     [ ("bandwidths_bps", floats [ bw_wave_31; bw_wave_101 ]) ]
   | _ -> []
 
+(* The combined run embeds every experiment's parameter record, so an
+   "all" manifest carries the same provenance (and the cache the same key
+   material) as the per-experiment manifests put together. *)
+let params ?(quick = false) name =
+  if String.equal name "all" then
+    List.map
+      (fun n -> (n, Engine.Json.Obj (params_one ~quick n)))
+      names
+  else params_one ~quick name
+
+let scope_label ~quick name = if quick then name ^ ":quick" else name
+
+let run_cached ?(quick = false) ?pool ?cache ?now name =
+  if not (List.mem name names) then None
+  else
+    match cache with
+    | None -> run_by_name ~quick ?pool name
+    | Some cache -> (
+      let key =
+        Result_cache.key cache ~experiment:name ~quick
+          ~params:(params ~quick name)
+      in
+      match Result_cache.lookup cache ~key with
+      | Some tables -> Some tables
+      | None ->
+        let scope =
+          Result_cache.scope ?now cache ~label:(scope_label ~quick name)
+        in
+        let tables = with_scope scope (fun () -> run_by_name ~quick ?pool name) in
+        Option.iter
+          (fun tables ->
+            Result_cache.store cache ~key ~experiment:name ~quick tables;
+            Result_cache.save_timings cache)
+          tables;
+        tables)
+
+(* Units of computation for [all]: one entry per independently computed
+   table group.  The figure pairs 4+5 and 14+15 come out of a single
+   sweep, so only the first id of each pair appears (running it yields
+   both tables — and both land in one cache entry). *)
+let all_units = List.filter (fun n -> n <> "fig5" && n <> "fig15") names
+
+let all ?emit ?(quick = false) ?pool ?cache ?now () =
+  List.concat_map
+    (fun name ->
+      match run_cached ~quick ?pool ?cache ?now name with
+      | Some tables ->
+        (match emit with Some f -> List.iter f tables | None -> ());
+        tables
+      | None -> [])
+    all_units
+
+let cache_delta cache f =
+  let before =
+    Option.map (fun c -> (Result_cache.hits c, Result_cache.misses c)) cache
+  in
+  let result = f () in
+  let info =
+    Option.map
+      (fun c ->
+        let h0, m0 = Option.get before in
+        ( Result_cache.hits c - h0,
+          Result_cache.misses c - m0,
+          Result_cache.fingerprint c ))
+      cache
+  in
+  (result, info)
+
 (* [now] supplies the wall clock for the manifest's (non-digested) timing
    section; it defaults to [Sys.time] so the core library stays free of a
    unix dependency — the CLI passes a real wall clock. *)
-let run_to_dir ?(quick = false) ?pool ?(emit = Manifest.Both)
+let run_to_dir ?(quick = false) ?pool ?cache ?(emit = Manifest.Both)
     ?(now = Sys.time) ~dir ~jobs name =
   let t0 = now () in
-  match run_by_name ~quick ?pool name with
+  let result, cache_info =
+    cache_delta cache (fun () -> run_cached ~quick ?pool ?cache ~now name)
+  in
+  match result with
   | None -> None
   | Some tables ->
     let wall_s = now () -. t0 in
     let manifest_path =
-      Manifest.write ~dir ~experiment:name ~quick
+      Manifest.write ?cache:cache_info ~dir ~experiment:name ~quick
         ~params:(params ~quick name) ~emit ~jobs ~wall_s tables
     in
     Some (manifest_path, tables)
 
-let all_to_dir ?stream ?(quick = false) ?pool ?(emit = Manifest.Both)
+let all_to_dir ?stream ?(quick = false) ?pool ?cache ?(emit = Manifest.Both)
     ?(now = Sys.time) ~dir ~jobs () =
   let t0 = now () in
-  let tables = all ?emit:stream ~quick ?pool () in
+  let tables, cache_info =
+    cache_delta cache (fun () ->
+        all ?emit:stream ~quick ?pool ?cache ~now ())
+  in
   let wall_s = now () -. t0 in
   let manifest_path =
-    Manifest.write ~dir ~experiment:"all" ~quick ~params:[] ~emit ~jobs
-      ~wall_s tables
+    Manifest.write ?cache:cache_info ~dir ~experiment:"all" ~quick
+      ~params:(params ~quick "all") ~emit ~jobs ~wall_s tables
   in
   (manifest_path, tables)

@@ -65,8 +65,17 @@ val ablation_10to1_fairness : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Tabl
 
 (** All experiment tables in figure order (ablations included last).
     [emit] is called on each table as soon as it is computed, for
-    streaming output during long runs. *)
-val all : ?emit:(Table.t -> unit) -> ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t list
+    streaming output during long runs.  [cache]/[now] are as in
+    {!run_cached}: each unit (figure pair, ablation, ...) hits or misses
+    the cache independently. *)
+val all :
+  ?emit:(Table.t -> unit) ->
+  ?quick:bool ->
+  ?pool:Engine.Pool.t ->
+  ?cache:Result_cache.t ->
+  ?now:(unit -> float) ->
+  unit ->
+  Table.t list
 
 (** Names accepted by {!run_by_name}. *)
 val names : string list
@@ -76,18 +85,40 @@ val run_by_name :
   ?quick:bool -> ?pool:Engine.Pool.t -> string -> Table.t list option
 
 (** Scenario parameters recorded in a run manifest for the named
-    experiment (empty for unknown names and parameter-free tables). *)
+    experiment (empty for unknown names and parameter-free tables).  The
+    record is part of the result-cache key, so any change to it forces a
+    re-simulation.  For the combined id ["all"] the record embeds one
+    object per experiment name, keeping provenance complete in combined
+    manifests. *)
 val params : ?quick:bool -> string -> (string * Engine.Json.t) list
 
-(** [run_to_dir ~dir ~jobs name] runs the experiment and writes its
-    tables (per [emit], default [Both]) plus [dir/manifest.json]; returns
-    the manifest path and the tables, or [None] for an unknown name.
-    [jobs] is recorded in the manifest's timing section only — it does not
-    create a pool; pass [pool] for parallel sweeps.  [now] supplies the
-    wall clock for the timing section (defaults to [Sys.time]). *)
+(** {!run_by_name} through the result cache.  On a hit the tables come
+    from disk (digest-verified); on a miss the experiment runs inside a
+    timing scope — each sweep job's wall time (per [now], default
+    [Sys.time]) is recorded into the cache's timing store and the
+    previous run's measurements order the pool's execution longest-first.
+    With [cache] absent this is exactly {!run_by_name}. *)
+val run_cached :
+  ?quick:bool ->
+  ?pool:Engine.Pool.t ->
+  ?cache:Result_cache.t ->
+  ?now:(unit -> float) ->
+  string ->
+  Table.t list option
+
+(** [run_to_dir ~dir ~jobs name] runs the experiment (through [cache]
+    when given) and writes its tables (per [emit], default [Both]) plus
+    [dir/manifest.json]; returns the manifest path and the tables, or
+    [None] for an unknown name.  [jobs] is recorded in the manifest's
+    timing section only — it does not create a pool; pass [pool] for
+    parallel sweeps.  [now] supplies the wall clock for the timing
+    section (defaults to [Sys.time]).  When [cache] is given the timing
+    section also records this run's cache hits/misses and the code
+    fingerprint. *)
 val run_to_dir :
   ?quick:bool ->
   ?pool:Engine.Pool.t ->
+  ?cache:Result_cache.t ->
   ?emit:Manifest.emit ->
   ?now:(unit -> float) ->
   dir:string ->
@@ -101,6 +132,7 @@ val all_to_dir :
   ?stream:(Table.t -> unit) ->
   ?quick:bool ->
   ?pool:Engine.Pool.t ->
+  ?cache:Result_cache.t ->
   ?emit:Manifest.emit ->
   ?now:(unit -> float) ->
   dir:string ->

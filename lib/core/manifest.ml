@@ -33,26 +33,9 @@ let table_digest (t : Table.t) =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* One JSON object per row: {"row": i, "cells": {"col": "raw cell", ...}}.
-   Cells stay the exact strings of the table so JSONL and CSV always agree
-   byte-for-byte on content.  Ragged rows keep only cells that have a
-   column; missing trailing cells are omitted. *)
-let jsonl_of_table (t : Table.t) =
-  let buf = Buffer.create 1024 in
-  List.iteri
-    (fun i row ->
-      let cells =
-        List.filter_map
-          (fun (j, cell) ->
-            match List.nth_opt t.Table.columns j with
-            | Some col -> Some (col, Json.String cell)
-            | None -> None)
-          (List.mapi (fun j cell -> (j, cell)) row)
-      in
-      let obj = Json.Obj [ ("row", Json.Int i); ("cells", Json.Obj cells) ] in
-      Buffer.add_string buf (Json.to_string ~minify:true obj);
-      Buffer.add_char buf '\n')
-    t.Table.rows;
-  Buffer.contents buf
+   The rendering lives in [Table] (shared with the result cache, whose
+   [Table.of_jsonl] reader must invert these exact bytes). *)
+let jsonl_of_table = Table.rows_to_jsonl
 
 let save_jsonl ~dir (t : Table.t) =
   Table.ensure_dir dir;
@@ -103,10 +86,28 @@ let run_section ~experiment ~quick ~params ~tables =
       ("tables", Json.List (List.map table_entry tables));
     ]
 
-let render ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables =
+let render ?cache ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables () =
   let run = run_section ~experiment ~quick ~params ~tables in
   let run_str = Json.to_string run in
   let digest = Digest.to_hex (Digest.string run_str) in
+  (* Like sched/jobs, the cache record is engine configuration: hits vs
+     misses change wall time only — a verified hit reproduces the same
+     table bytes a fresh simulation would — so it stays out of the
+     digested run section. *)
+  let cache_fields =
+    match cache with
+    | None -> []
+    | Some (hits, misses, fingerprint) ->
+      [
+        ( "cache",
+          Json.Obj
+            [
+              ("hits", Json.Int hits);
+              ("misses", Json.Int misses);
+              ("fingerprint", Json.String fingerprint);
+            ] );
+      ]
+  in
   let manifest =
     Json.Obj
       [
@@ -115,29 +116,30 @@ let render ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables =
         ("run", run);
         ( "timing",
           Json.Obj
-            [
-              ("wall_s", Json.Float wall_s);
-              ("jobs", Json.Int jobs);
-              (* Engine configuration, not experiment identity: results are
-                 byte-identical under either scheduler, so it stays out of
-                 the digested run section. *)
-              ( "sched",
-                Json.String
-                  (Engine.Scheduler.to_string (Engine.Scheduler.get_default ()))
-              );
-              ("emit", Json.String (emit_to_string emit));
-            ] );
+            ([
+               ("wall_s", Json.Float wall_s);
+               ("jobs", Json.Int jobs);
+               (* Engine configuration, not experiment identity: results are
+                  byte-identical under either scheduler, so it stays out of
+                  the digested run section. *)
+               ( "sched",
+                 Json.String
+                   (Engine.Scheduler.to_string (Engine.Scheduler.get_default ()))
+               );
+               ("emit", Json.String (emit_to_string emit));
+             ]
+            @ cache_fields) );
       ]
   in
   Json.to_string manifest ^ "\n"
 
-let write ~dir ~experiment ~quick ~params ~emit ~jobs ~wall_s tables =
+let write ?cache ~dir ~experiment ~quick ~params ~emit ~jobs ~wall_s tables =
   Table.ensure_dir dir;
   List.iter (fun t -> ignore (save_table ~dir ~emit t)) tables;
   let path = Filename.concat dir "manifest.json" in
   let oc = open_out path in
   output_string oc
-    (render ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables);
+    (render ?cache ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables ());
   close_out oc;
   path
 

@@ -39,8 +39,13 @@ val run_section :
   tables:Table.t list ->
   Engine.Json.t
 
-(** Full manifest document as a string (trailing newline included). *)
+(** Full manifest document as a string (trailing newline included).
+    [cache], when a result cache served the run, is [(hits, misses,
+    fingerprint)]; it is recorded in the (non-digested) timing section —
+    a verified hit reproduces the exact bytes a fresh simulation would,
+    so cache state is engine configuration, not experiment identity. *)
 val render :
+  ?cache:int * int * string ->
   experiment:string ->
   quick:bool ->
   params:(string * Engine.Json.t) list ->
@@ -48,11 +53,13 @@ val render :
   jobs:int ->
   wall_s:float ->
   tables:Table.t list ->
+  unit ->
   string
 
 (** [write ~dir ... tables] saves every table (per [emit]) plus
     [dir/manifest.json]; returns the manifest path. *)
 val write :
+  ?cache:int * int * string ->
   dir:string ->
   experiment:string ->
   quick:bool ->

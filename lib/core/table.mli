@@ -34,6 +34,25 @@ val to_csv : t -> string
     rather than into the CSV body. *)
 val save_csv : dir:string -> t -> string
 
+(** Rows-only JSONL: one minified JSON object per row,
+    [{"row": i, "cells": {"<col>": "<raw cell>", ...}}], exactly the bytes
+    {!Manifest.save_jsonl} writes next to the CSV.  Cells keep the exact
+    strings of the table; ragged rows keep only cells that have a column. *)
+val rows_to_jsonl : t -> string
+
+(** Full-fidelity JSONL: a header object
+    [{"id": ..., "title": ..., "columns": [...], "notes": [...]}] followed
+    by the exact row lines of {!rows_to_jsonl}.  Storage format of
+    {!Result_cache}; inverted by {!of_jsonl}. *)
+val to_jsonl : t -> string
+
+(** Inverse of {!to_jsonl}.  The round-trip is exact — it preserves
+    {!Manifest.table_digest} byte-for-byte — for every table whose rows
+    are at most as wide as the column list (wider rows are truncated at
+    write time).  Errors on malformed lines, out-of-order row indices and
+    cells that do not belong to the table. *)
+val of_jsonl : string -> (t, string) result
+
 (** Formatting helpers. *)
 val fnum : float -> string
 

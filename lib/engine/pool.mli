@@ -50,9 +50,19 @@ val jobs : t -> int
     returns the results in the order of [xs]. *)
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
-(** [run_jobs t jobs] runs a keyed batch of thunks and returns
-    [(key, result)] pairs in submission order. *)
-val run_jobs : t -> ('k * (unit -> 'r)) list -> ('k * 'r) list
+(** [run_jobs t ?cost jobs] runs a keyed batch of thunks and returns
+    [(key, result)] pairs in submission order.
+
+    [cost] is an optional per-key wall-time estimate (seconds, any
+    consistent unit works).  When given, the batch is {e executed}
+    longest-processing-time-first so one long job cannot tail-block the
+    batch at [jobs = N]; results are still reassembled in submission
+    order, so output is byte-identical with or without estimates, at any
+    worker count.  [None], NaN and infinite estimates schedule as
+    zero-cost; ties (and the all-[None] case) fall back to submission
+    order via a stable sort. *)
+val run_jobs :
+  t -> ?cost:('k -> float option) -> ('k * (unit -> 'r)) list -> ('k * 'r) list
 
 (** Signal workers to finish and join them.  Idempotent.  Submitting new
     batches after [shutdown] raises [Invalid_argument]. *)

@@ -81,6 +81,7 @@ let test_timing_not_digested () =
   let render ~jobs ~wall_s =
     Manifest.render ~experiment:"fig0" ~quick:false ~params:[]
       ~emit:Manifest.Csv ~jobs ~wall_s ~tables:[ sample ]
+      ~cache:(3, 1, "fingerprint") ()
   in
   let digest_of s =
     let dir = "tmp-manifest/timing" in

@@ -65,6 +65,67 @@ let test_empty_and_shutdown () =
     (Invalid_argument "Pool: submission after shutdown") (fun () ->
       ignore (Engine.Pool.map_list pool Fun.id [ 1; 2 ]))
 
+(* Cost-model (LPT) scheduling only reorders execution; the returned
+   (key, result) list must stay in submission order for any cost
+   function, including adversarial ones (ties, zeros, missing and
+   non-finite estimates), at jobs=1 and jobs=4. *)
+let run_with_cost ~jobs ?cost kjobs =
+  Engine.Pool.with_pool ~jobs (fun pool ->
+      Engine.Pool.run_jobs pool ?cost kjobs)
+
+let test_lpt_submission_order () =
+  let kjobs = List.init 40 (fun i -> (i, fun () -> i * i)) in
+  let expected = List.map (fun (k, f) -> (k, f ())) kjobs in
+  let costs =
+    [
+      ("reverse", fun k -> Some (float_of_int k));
+      ("uniform ties", fun _ -> Some 1.0);
+      ("all zero", fun _ -> Some 0.0);
+      ("missing", fun k -> if k mod 3 = 0 then Some 2.0 else None);
+      ("nan and inf", fun k ->
+        Some (if k mod 2 = 0 then Float.nan else Float.infinity));
+      ("negative", fun k -> Some (-.float_of_int k));
+    ]
+  in
+  List.iter
+    (fun (name, cost) ->
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s cost at jobs=%d" name jobs)
+            expected
+            (run_with_cost ~jobs ~cost kjobs))
+        [ 1; 4 ])
+    costs
+
+let test_lpt_randomized_determinism () =
+  (* Random batch sizes, results and costs: with and without a cost
+     model, serial and parallel, the output list never changes. *)
+  let rng = Engine.Rng.create ~seed:7 in
+  for _ = 1 to 25 do
+    let n = 1 + Engine.Rng.int rng 30 in
+    let payload = Array.init n (fun _ -> Engine.Rng.int rng 1000) in
+    let kjobs =
+      List.init n (fun i -> (Printf.sprintf "job%d" i, fun () -> payload.(i)))
+    in
+    let cost_table =
+      Array.init n (fun _ ->
+          match Engine.Rng.int rng 4 with
+          | 0 -> None
+          | 1 -> Some 0.
+          | 2 -> Some Float.nan
+          | _ -> Some (Engine.Rng.float rng))
+    in
+    let cost k = cost_table.(int_of_string (String.sub k 3 (String.length k - 3))) in
+    let baseline = run_with_cost ~jobs:1 kjobs in
+    Alcotest.(check (list (pair string int)))
+      "costed serial = uncosted serial" baseline
+      (run_with_cost ~jobs:1 ~cost kjobs);
+    Alcotest.(check (list (pair string int)))
+      "costed parallel = uncosted serial" baseline
+      (run_with_cost ~jobs:4 ~cost kjobs)
+  done
+
 (* The acceptance bar for the parallel runner: a figure's rendered table
    must be byte-identical at --jobs 1 and --jobs 4. *)
 let render_figure ~jobs name =
@@ -89,5 +150,9 @@ let suite =
     Alcotest.test_case "jobs=1 degenerate" `Quick test_jobs1_degenerate;
     Alcotest.test_case "nested map runs inline" `Quick test_nested_map;
     Alcotest.test_case "empty batch and shutdown" `Quick test_empty_and_shutdown;
+    Alcotest.test_case "lpt keeps submission order" `Quick
+      test_lpt_submission_order;
+    Alcotest.test_case "lpt randomized determinism" `Quick
+      test_lpt_randomized_determinism;
     Alcotest.test_case "figure table determinism" `Slow test_figure_determinism;
   ]

@@ -1,0 +1,296 @@
+(* The content-addressed result cache: key sensitivity, digest-verified
+   round-trips, self-healing on corruption, the timing store, directory
+   maintenance, and the end-to-end guarantee that a warm run reproduces a
+   cold run's manifest byte-for-byte. *)
+
+module Json = Engine.Json
+module Cache = Slowcc.Result_cache
+module Manifest = Slowcc.Manifest
+module Table = Slowcc.Table
+
+let sample =
+  Table.make ~id:"fig0" ~title:"sample"
+    ~columns:[ "x"; "y" ]
+    ~notes:[ "a note" ]
+    [ [ "1"; "2" ]; [ "3"; "4,5" ] ]
+
+let second =
+  Table.make ~id:"fig0b" ~title:"second table" ~columns:[ "z" ] [ [ "9" ] ]
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir = Printf.sprintf "tmp-result-cache/case%d" !n in
+    Cache.clear ~dir;
+    dir
+
+let params = [ ("alpha", Json.Float 0.5); ("n", Json.Int 4) ]
+
+let tables_digests ts = List.map Manifest.table_digest ts
+
+let test_store_lookup_roundtrip () =
+  let c = Cache.create ~dir:(fresh_dir ()) () in
+  let key = Cache.key c ~experiment:"fig0" ~quick:true ~params in
+  Alcotest.(check (option (list string))) "empty cache misses" None
+    (Option.map tables_digests (Cache.lookup c ~key));
+  Cache.store c ~key ~experiment:"fig0" ~quick:true [ sample; second ];
+  (match Cache.lookup c ~key with
+  | None -> Alcotest.fail "stored entry not found"
+  | Some ts ->
+    Alcotest.(check (list string))
+      "tables round-trip digest-identical"
+      (tables_digests [ sample; second ])
+      (tables_digests ts));
+  Alcotest.(check (pair int int)) "one miss then one hit" (1, 1)
+    (Cache.hits c, Cache.misses c)
+
+let test_key_sensitivity () =
+  let c = Cache.create ~dir:(fresh_dir ()) () in
+  let base = Cache.key c ~experiment:"fig0" ~quick:true ~params in
+  Alcotest.(check string) "key is deterministic" base
+    (Cache.key c ~experiment:"fig0" ~quick:true ~params);
+  Alcotest.(check int) "key is md5 hex" 32 (String.length base);
+  let different =
+    [
+      Cache.key c ~experiment:"fig1" ~quick:true ~params;
+      Cache.key c ~experiment:"fig0" ~quick:false ~params;
+      Cache.key c ~experiment:"fig0" ~quick:true
+        ~params:[ ("alpha", Json.Float 0.6); ("n", Json.Int 4) ];
+      Cache.key c ~experiment:"fig0" ~quick:true ~params:[];
+    ]
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "name/quick/params all flip the key" true
+        (k <> base))
+    different
+
+let test_fingerprint_invalidates () =
+  (* Same directory, different code fingerprint: the old entry must not
+     be served.  [create ?fingerprint] stands in for a rebuild. *)
+  let dir = fresh_dir () in
+  let v1 = Cache.create ~fingerprint:"code-v1" ~dir () in
+  let k1 = Cache.key v1 ~experiment:"fig0" ~quick:true ~params in
+  Cache.store v1 ~key:k1 ~experiment:"fig0" ~quick:true [ sample ];
+  let v2 = Cache.create ~fingerprint:"code-v2" ~dir () in
+  let k2 = Cache.key v2 ~experiment:"fig0" ~quick:true ~params in
+  Alcotest.(check bool) "fingerprint flips the key" true (k1 <> k2);
+  Alcotest.(check bool) "new code misses" true (Cache.lookup v2 ~key:k2 = None);
+  Alcotest.(check bool) "old entry still served to old code" true
+    (Cache.lookup v1 ~key:k1 <> None)
+
+(* First index of [needle] in [haystack]; -1 when absent. *)
+let find_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then -1
+    else if String.sub haystack i n = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".entry")
+  |> List.map (Filename.concat dir)
+
+let test_corruption_self_heals () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key = Cache.key c ~experiment:"fig0" ~quick:true ~params in
+  Cache.store c ~key ~experiment:"fig0" ~quick:true [ sample ];
+  let path =
+    match entry_files dir with
+    | [ p ] -> p
+    | l -> Alcotest.failf "expected one entry file, found %d" (List.length l)
+  in
+  (* Flip one byte of a stored cell ("4,5" -> "4,6"): the per-table
+     digest check must reject, delete the entry and re-simulate. *)
+  let bytes =
+    In_channel.with_open_bin path In_channel.input_all |> Bytes.of_string
+  in
+  let pos = find_sub (Bytes.to_string bytes) "4,5" in
+  Alcotest.(check bool) "cell present in entry" true (pos >= 0);
+  Bytes.set bytes (pos + 2) '6';
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc bytes);
+  Alcotest.(check bool) "corrupt entry reads as a miss" true
+    (Cache.lookup c ~key = None);
+  Alcotest.(check (list string)) "corrupt entry deleted" []
+    (entry_files dir);
+  (* Truncation is likewise caught. *)
+  Cache.store c ~key ~experiment:"fig0" ~quick:true [ sample; second ];
+  let path = List.hd (entry_files dir) in
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full - 10)));
+  Alcotest.(check bool) "truncated entry reads as a miss" true
+    (Cache.lookup c ~key = None);
+  (* After healing, a store works again. *)
+  Cache.store c ~key ~experiment:"fig0" ~quick:true [ sample ];
+  Alcotest.(check bool) "re-stored entry hits" true
+    (Cache.lookup c ~key <> None)
+
+let test_timing_store () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  Alcotest.(check (option (float 0.))) "no estimate yet" None
+    (Cache.estimate c "fig7#0");
+  Cache.record c "fig7#0" 1.5;
+  Cache.record c "fig7#1" 0.25;
+  Cache.record c "fig7#0" 2.0 (* latest wins *);
+  Cache.record c "bad" nan;
+  Cache.record c "bad" infinity;
+  Cache.record c "bad" (-1.);
+  Alcotest.(check (option (float 1e-9))) "latest measurement" (Some 2.0)
+    (Cache.estimate c "fig7#0");
+  Alcotest.(check (option (float 1e-9))) "non-finite ignored" None
+    (Cache.estimate c "bad");
+  Cache.save_timings c;
+  let reloaded = Cache.create ~dir () in
+  Alcotest.(check (option (float 1e-9))) "timings survive reload" (Some 0.25)
+    (Cache.estimate reloaded "fig7#1");
+  let s = Cache.stats ~dir in
+  Alcotest.(check int) "two persisted timings" 2 s.Cache.timing_entries
+
+let test_stats_and_clear () =
+  let dir = fresh_dir () in
+  let s0 = Cache.stats ~dir in
+  Alcotest.(check int) "missing dir reads empty" 0 s0.Cache.entries;
+  let c = Cache.create ~dir () in
+  let key = Cache.key c ~experiment:"fig0" ~quick:true ~params in
+  Cache.store c ~key ~experiment:"fig0" ~quick:true [ sample ];
+  Cache.record c "fig0#0" 1.0;
+  Cache.save_timings c;
+  (* A foreign file must survive [clear]. *)
+  Out_channel.with_open_bin (Filename.concat dir "README") (fun oc ->
+      Out_channel.output_string oc "not a cache entry\n");
+  let s1 = Cache.stats ~dir in
+  Alcotest.(check int) "one entry" 1 s1.Cache.entries;
+  Alcotest.(check bool) "entry bytes counted" true (s1.Cache.entry_bytes > 0);
+  Alcotest.(check int) "one timing" 1 s1.Cache.timing_entries;
+  Cache.clear ~dir;
+  let s2 = Cache.stats ~dir in
+  Alcotest.(check int) "entries cleared" 0 s2.Cache.entries;
+  Alcotest.(check int) "timings cleared" 0 s2.Cache.timing_entries;
+  Alcotest.(check bool) "foreign file kept" true
+    (Sys.file_exists (Filename.concat dir "README"))
+
+(* Satellite regression: the combined "all" record embeds one parameter
+   object per experiment, so per-figure provenance (e.g. fig7's scenario
+   parameters) survives into a combined manifest instead of the former
+   empty [params: {}]. *)
+let test_all_params_embed_figures () =
+  let all = Slowcc.Experiments.params ~quick:true "all" in
+  Alcotest.(check bool) "one record per experiment" true
+    (List.length all = List.length Slowcc.Experiments.names);
+  (match List.assoc_opt "fig7" all with
+  | Some (Json.Obj fields) ->
+    Alcotest.(check bool) "fig7 params are embedded, not empty" true
+      (List.mem_assoc "bandwidth_bps" fields)
+  | _ -> Alcotest.fail "fig7 record missing from the combined params");
+  let rendered =
+    Json.to_string
+      (Manifest.run_section ~experiment:"all" ~quick:true ~params:all
+         ~tables:[ sample ])
+  in
+  Alcotest.(check bool) "fig7 params visible in an 'all' manifest" true
+    (find_sub rendered "bandwidth_bps" >= 0)
+
+(* End to end: running the same experiment twice against one cache
+   directory must (a) hit on the second run, (b) write byte-identical
+   run sections and manifest digests, and (c) match a --no-cache run. *)
+let test_warm_run_reproduces_cold () =
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir () in
+  let run ~cache ~out =
+    Engine.Pool.with_pool ~jobs:2 (fun pool ->
+        match
+          Slowcc.Experiments.run_to_dir ~quick:true ~pool ?cache
+            ~emit:Manifest.Both ~dir:out ~jobs:2 "fig20"
+        with
+        | Some (manifest, tables) -> (manifest, tables)
+        | None -> Alcotest.fail "fig20 not found")
+  in
+  let m_cold, t_cold = run ~cache:(Some cache) ~out:"tmp-result-cache/cold" in
+  Alcotest.(check (pair int int)) "cold run misses" (0, 1)
+    (Cache.hits cache, Cache.misses cache);
+  let m_warm, t_warm = run ~cache:(Some cache) ~out:"tmp-result-cache/warm" in
+  Alcotest.(check (pair int int)) "warm run all-hits" (1, 1)
+    (Cache.hits cache, Cache.misses cache);
+  let m_fresh, t_fresh = run ~cache:None ~out:"tmp-result-cache/fresh" in
+  let section tables =
+    Json.to_string
+      (Manifest.run_section ~experiment:"fig20" ~quick:true
+         ~params:(Slowcc.Experiments.params ~quick:true "fig20")
+         ~tables)
+  in
+  Alcotest.(check string) "warm run section byte-identical"
+    (section t_cold) (section t_warm);
+  Alcotest.(check string) "uncached run section byte-identical"
+    (section t_cold) (section t_fresh);
+  match
+    ( Manifest.digest_of_file m_cold,
+      Manifest.digest_of_file m_warm,
+      Manifest.digest_of_file m_fresh )
+  with
+  | Some d1, Some d2, Some d3 ->
+    Alcotest.(check string) "warm manifest digest identical" d1 d2;
+    Alcotest.(check string) "uncached manifest digest identical" d1 d3
+  | _ -> Alcotest.fail "digest missing from a manifest"
+
+(* Property: [Table.of_jsonl] inverts [Table.to_jsonl] exactly —
+   [Manifest.table_digest] is preserved byte-for-byte — over randomized
+   tables, including awkward cell contents (commas, quotes, newlines,
+   backslashes), duplicate column names and rows narrower than the
+   column list. *)
+let cell_gen =
+  QCheck2.Gen.(
+    string_size ~gen:(oneofl [ 'a'; '0'; ','; '"'; '\\'; '\n'; ' '; '{' ])
+      (int_range 0 8))
+
+let table_gen =
+  QCheck2.Gen.(
+    let* n_cols = int_range 1 5 in
+    (* A small name alphabet makes duplicate column names common. *)
+    let* columns =
+      list_repeat n_cols (oneofl [ "a"; "b"; "c"; "x"; "row"; "cells" ])
+    in
+    let* rows =
+      list_size (int_range 0 6)
+        (let* width = int_range 0 n_cols in
+         list_repeat width cell_gen)
+    in
+    let* id = string_size ~gen:(char_range 'a' 'z') (int_range 1 8) in
+    let* title = cell_gen in
+    let* notes = list_size (int_range 0 3) cell_gen in
+    return (Table.make ~id ~title ~columns ~notes rows))
+
+let prop_jsonl_roundtrip_digest =
+  QCheck2.Test.make ~name:"to_jsonl/of_jsonl preserves the table digest"
+    ~count:200 table_gen (fun t ->
+      match Table.of_jsonl (Table.to_jsonl t) with
+      | Error e -> QCheck2.Test.fail_reportf "of_jsonl failed: %s" e
+      | Ok t' ->
+        String.equal (Manifest.table_digest t) (Manifest.table_digest t')
+        && String.equal (Table.rows_to_jsonl t) (Table.rows_to_jsonl t'))
+
+let suite =
+  [
+    Alcotest.test_case "store/lookup round-trip" `Quick
+      test_store_lookup_roundtrip;
+    Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+    Alcotest.test_case "fingerprint invalidates" `Quick
+      test_fingerprint_invalidates;
+    Alcotest.test_case "corruption self-heals" `Quick
+      test_corruption_self_heals;
+    Alcotest.test_case "timing store" `Quick test_timing_store;
+    Alcotest.test_case "stats and clear" `Quick test_stats_and_clear;
+    Alcotest.test_case "'all' params embed figures" `Quick
+      test_all_params_embed_figures;
+    Alcotest.test_case "warm run reproduces cold" `Quick
+      test_warm_run_reproduces_cold;
+    QCheck_alcotest.to_alcotest prop_jsonl_roundtrip_digest;
+  ]
