@@ -332,12 +332,88 @@ let compete_cmd =
       const run $ verbose_arg $ proto_a $ proto_b $ n_arg $ bw_arg
       $ period_arg)
 
+let fuzz_cmd =
+  let seeds_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of random scenarios (seeds 0..N-1).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Re-run a saved reproducer instead of generating scenarios.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write shrunk reproducers of failing scenarios under $(docv).")
+  in
+  let run verbose quick jobs seeds replay out_dir =
+    setup_logs verbose;
+    let with_opt_pool f =
+      if jobs > 1 then Engine.Pool.with_pool ~jobs (fun p -> f (Some p))
+      else f None
+    in
+    with_opt_pool (fun pool ->
+        match replay with
+        | Some path -> (
+          match Slowcc.Fuzz.load_repro path with
+          | Error msg ->
+            Printf.eprintf "cannot load %s: %s\n" path msg;
+            2
+          | Ok sc -> (
+            Printf.printf "replaying %s\n%!" (Slowcc.Fuzz.describe sc);
+            match Slowcc.Fuzz.check ?pool sc with
+            | None ->
+              print_endline "scenario passes: no violation, all legs agree";
+              0
+            | Some failure ->
+              Printf.printf "still fails: %s\n" failure;
+              1))
+        | None ->
+          let report =
+            Slowcc.Fuzz.run_seeds ?pool ~quick ?out_dir ~log:print_endline
+              ~seeds ()
+          in
+          if report.Slowcc.Fuzz.failures = [] then (
+            Printf.printf "fuzz: %d seeds, no violations, no divergences\n"
+              report.Slowcc.Fuzz.seeds_run;
+            0)
+          else (
+            Printf.printf "fuzz: %d seeds, %d FAILURE(S)\n"
+              report.Slowcc.Fuzz.seeds_run
+              (List.length report.Slowcc.Fuzz.failures);
+            List.iter
+              (fun f ->
+                Printf.printf "  seed %d: %s\n    shrunk: %s\n    %s\n"
+                  f.Slowcc.Fuzz.scenario.Slowcc.Fuzz.seed
+                  f.Slowcc.Fuzz.first_failure
+                  (Slowcc.Fuzz.describe f.Slowcc.Fuzz.shrunk)
+                  f.Slowcc.Fuzz.shrunk_failure)
+              report.Slowcc.Fuzz.failures;
+            1))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random scenarios cross-checked across \
+          scheduler, allocation and worker-domain axes under the audit \
+          layer; failures are shrunk to minimal replayable reproducers")
+    Term.(
+      const run $ verbose_arg $ quick_arg $ jobs_arg $ seeds_arg $ replay_arg
+      $ out_arg)
+
 let main =
   Cmd.group
     (Cmd.info "slowcc_run" ~version:"1.0.0"
        ~doc:
          "Reproduction driver for 'Dynamic Behavior of Slowly-Responsive \
           Congestion Control Algorithms' (SIGCOMM 2001)")
-    [ list_cmd; run_cmd; all_cmd; compete_cmd; cache_cmd ]
+    [ list_cmd; run_cmd; all_cmd; compete_cmd; cache_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -89,12 +89,11 @@ let window_rule = function
   | Rap _ | Tfrc _ | Tear _ ->
     invalid_arg "Protocol.window_rule: not window-based"
 
-let spawn ?(reverse = false) ?(extra_delay = 0.) ?(pkt_size = 1000)
-    ?total_pkts ?(ca_start = false) t db =
-  let sim = Netsim.Dumbbell.sim db in
-  let left, right = Netsim.Dumbbell.add_host_pair ~extra_delay db in
-  let src, dst = if reverse then (right, left) else (left, right) in
-  let flow_id = Netsim.Dumbbell.fresh_flow db in
+(* Build a flow of protocol [t] between two already-routed nodes; the
+   dumbbell-specific [spawn] and the fuzzer's parking-lot wiring both end
+   up here. *)
+let spawn_between ?(pkt_size = 1000) ?total_pkts ?(ca_start = false) t ~sim
+    ~src ~dst ~flow:flow_id =
   match t with
   | Tcp _ | Tcp_sack _ | Sqrt _ | Iiad _ ->
     let cfg =
@@ -138,3 +137,11 @@ let spawn ?(reverse = false) ?(extra_delay = 0.) ?(pkt_size = 1000)
       }
     in
     Cc.Tear.flow (Cc.Tear.create ~sim ~src ~dst ~flow:flow_id cfg)
+
+let spawn ?(reverse = false) ?(extra_delay = 0.) ?pkt_size ?total_pkts
+    ?ca_start t db =
+  let sim = Netsim.Dumbbell.sim db in
+  let left, right = Netsim.Dumbbell.add_host_pair ~extra_delay db in
+  let src, dst = if reverse then (right, left) else (left, right) in
+  let flow_id = Netsim.Dumbbell.fresh_flow db in
+  spawn_between ?pkt_size ?total_pkts ?ca_start t ~sim ~src ~dst ~flow:flow_id

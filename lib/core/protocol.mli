@@ -53,3 +53,18 @@ val spawn :
   t ->
   Netsim.Dumbbell.t ->
   Cc.Flow.t
+
+(** Build a flow of this protocol between two already-created,
+    already-routed nodes — topology-agnostic core of {!spawn}; the fuzzer
+    uses it to wire flows across a parking lot.  The caller supplies a
+    fresh [flow] id. *)
+val spawn_between :
+  ?pkt_size:int ->
+  ?total_pkts:int ->
+  ?ca_start:bool ->
+  t ->
+  sim:Engine.Sim.t ->
+  src:Netsim.Node.t ->
+  dst:Netsim.Node.t ->
+  flow:int ->
+  Cc.Flow.t

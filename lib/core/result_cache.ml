@@ -40,11 +40,19 @@ let read_file path =
 
 (* Write-then-rename so a crashed or concurrent writer can never leave a
    torn entry under the final name.  (A torn entry would be detected by
-   the digest check anyway; this just avoids churn.) *)
+   the digest check anyway; this just avoids churn.)  The temp name must
+   be unique per writer: with a fixed [path ^ ".tmp"], two processes
+   sharing a cache dir could interleave open/write/rename and publish a
+   torn file.  [Filename.temp_file] creates the file exclusively. *)
 let write_file_atomic path contents =
-  let tmp = path ^ ".tmp" in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
   let oc = open_out_bin tmp in
-  output_string oc contents;
+  (try output_string oc contents
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   close_out oc;
   Sys.rename tmp path
 
@@ -248,10 +256,22 @@ let record t key wall_s =
   if Float.is_finite wall_s && wall_s >= 0. then
     locked t (fun () -> Hashtbl.replace t.timings key wall_s)
 
+(* Merge-on-save: concurrent processes sharing a cache dir each measure a
+   disjoint (or overlapping) set of jobs.  Writing only the in-memory
+   table would let the last writer discard everyone else's measurements
+   (lost update), so re-read the file first and overlay our entries on
+   top — ours win on conflict, foreign keys survive.  The window between
+   load and rename can still lose a racing writer's very latest numbers,
+   but timings are advisory (they only order execution), so a rare stale
+   estimate is harmless; losing a whole experiment's keys on every run
+   was not. *)
 let save_timings t =
+  let merged = Hashtbl.create 64 in
+  load_timings t.dir merged;
+  locked t (fun () ->
+      Hashtbl.iter (fun k v -> Hashtbl.replace merged k v) t.timings);
   let fields =
-    locked t (fun () ->
-        Hashtbl.fold (fun k v acc -> (k, Json.Float v) :: acc) t.timings [])
+    Hashtbl.fold (fun k v acc -> (k, Json.Float v) :: acc) merged []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let doc =
@@ -330,6 +350,10 @@ let clear ~dir =
   if Sys.file_exists dir && Sys.is_directory dir then
     Array.iter
       (fun name ->
-        if is_entry name || name = "timings.json" then
-          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (* [.tmp] files are stranded atomic-write temps (a writer that
+           crashed between create and rename); sweep them too. *)
+        if
+          is_entry name || name = "timings.json"
+          || Filename.check_suffix name ".tmp"
+        then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
       (Sys.readdir dir)

@@ -74,7 +74,10 @@ val estimate : t -> string -> float option
 val record : t -> string -> float -> unit
 
 (** Persist the timing store to [dir/timings.json] (sorted keys,
-    deterministic bytes for a given content). *)
+    deterministic bytes for a given content).  The on-disk file is
+    re-read and merged first — this instance's entries win on conflict —
+    so concurrent runs sharing a cache dir don't clobber each other's
+    measurements; the write itself is atomic (unique temp + rename). *)
 val save_timings : t -> unit
 
 (** {2 Scopes}

@@ -36,6 +36,10 @@ type 'a t = {
   mutable size : int;
   mutable next_seq : int;
   staging : floatarray;  (* unboxed hand-off slot for [add] *)
+  (* Last (time, seq) handed out by [take]; only read/written under
+     [Audit.invariants_on] to assert (time, insertion-order) pop order. *)
+  mutable last_pop_time : float;
+  mutable last_pop_seq : int;
 }
 
 let dummy : Obj.t = Obj.repr ()
@@ -57,6 +61,8 @@ let create () =
     size = 0;
     next_seq = 0;
     staging = Float.Array.create 1;
+    last_pop_time = Float.neg_infinity;
+    last_pop_seq = -1;
   }
 
 let is_empty t = t.size = 0
@@ -267,6 +273,21 @@ let remove_head t b =
 let take t =
   if t.size = 0 then invalid_arg "Calendar_queue.take: empty queue";
   let b = find_min_bucket t in
+  if Audit.invariants_on () then begin
+    let n = Array.unsafe_get t.buckets b in
+    let time = Array.unsafe_get t.times n
+    and seq = Array.unsafe_get t.seqs n in
+    if
+      time < t.last_pop_time
+      || (time = t.last_pop_time && seq < t.last_pop_seq)
+    then
+      Audit.fail
+        "Calendar_queue.take: popped (t=%.17g, seq=%d) after (t=%.17g, \
+         seq=%d) — FIFO order at equal timestamps broken"
+        time seq t.last_pop_time t.last_pop_seq;
+    t.last_pop_time <- time;
+    t.last_pop_seq <- seq
+  end;
   Obj.obj (remove_head t b)
 
 (* Earliest time; NaN if empty — callers check [is_empty] first.  Marked
@@ -300,4 +321,6 @@ let clear t =
   t.free <- (if cap > 0 then 0 else -1);
   Array.fill t.buckets 0 (Array.length t.buckets) (-1);
   t.size <- 0;
-  t.cur <- 0
+  t.cur <- 0;
+  t.last_pop_time <- Float.neg_infinity;
+  t.last_pop_seq <- -1

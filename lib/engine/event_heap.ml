@@ -20,6 +20,10 @@ type 'a t = {
   mutable len : int;
   mutable next_seq : int;
   staging : floatarray;  (* unboxed hand-off slot for [add] *)
+  (* Last (time, seq) handed out by [take]; only read/written under
+     [Audit.invariants_on] to assert (time, insertion-order) pop order. *)
+  mutable last_pop_time : float;
+  mutable last_pop_seq : int;
 }
 
 let initial_capacity = 256
@@ -33,6 +37,8 @@ let create () =
     len = 0;
     next_seq = 0;
     staging = Float.Array.create 1;
+    last_pop_time = Float.neg_infinity;
+    last_pop_seq = -1;
   }
 
 let grow t =
@@ -143,6 +149,20 @@ let remove_top t =
 
 let take t =
   if t.len = 0 then invalid_arg "Event_heap.take: empty heap";
+  if Audit.invariants_on () then begin
+    let time = Array.unsafe_get t.times 0
+    and seq = Array.unsafe_get t.seqs 0 in
+    if
+      time < t.last_pop_time
+      || (time = t.last_pop_time && seq < t.last_pop_seq)
+    then
+      Audit.fail
+        "Event_heap.take: popped (t=%.17g, seq=%d) after (t=%.17g, seq=%d) \
+         — FIFO order at equal timestamps broken"
+        time seq t.last_pop_time t.last_pop_seq;
+    t.last_pop_time <- time;
+    t.last_pop_seq <- seq
+  end;
   let v : 'a = Obj.obj (Array.unsafe_get t.vals 0) in
   remove_top t;
   v
@@ -158,4 +178,6 @@ let pop t =
 
 let clear t =
   Array.fill t.vals 0 t.len dummy;
-  t.len <- 0
+  t.len <- 0;
+  t.last_pop_time <- Float.neg_infinity;
+  t.last_pop_seq <- -1

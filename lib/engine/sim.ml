@@ -170,6 +170,11 @@ let run ?(until = Float.infinity) t =
           t.running <- false
         end
         else begin
+          if Audit.invariants_on () && time < now t then
+            Audit.fail
+              "Sim.run: event queue returned time %.17g behind the clock \
+               %.17g (non-monotone schedule)"
+              time (now t);
           let f = q_take t in
           set_now t time;
           t.processed <- t.processed + 1;

@@ -23,6 +23,11 @@ let make ~capacity =
     | None -> None
     | Some pkt ->
       bytes := !bytes - pkt.Packet.size;
+      if Engine.Audit.invariants_on () && !bytes < 0 then
+        Engine.Audit.fail
+          "Droptail: byte occupancy went negative (%d) after dequeueing \
+           pkt of %d bytes"
+          !bytes pkt.Packet.size;
       Some pkt
   in
   {

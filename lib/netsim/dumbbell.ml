@@ -26,6 +26,7 @@ type t = {
   bottleneck_rev : Link.t;
   mutable next_node_id : int;
   mutable next_flow_id : int;
+  mutable all_links : Link.t list;  (* every link, newest first *)
 }
 
 let make_queue ~sim ~rng c =
@@ -77,12 +78,14 @@ let create ~sim ~rng config =
     bottleneck_rev;
     next_node_id = 2;
     next_flow_id = 0;
+    all_links = [ bottleneck_rev; bottleneck ];
   }
 
 let sim t = t.sim
 let config t = t.config
 let bottleneck t = t.bottleneck
 let bottleneck_rev t = t.bottleneck_rev
+let links t = List.rev t.all_links
 
 let fresh_node_id t =
   let id = t.next_node_id in
@@ -95,9 +98,13 @@ let fresh_flow t =
   id
 
 let edge_link t ~extra_delay =
-  Link.make ~sim:t.sim ~bandwidth:(edge_bandwidth t.config)
-    ~delay:(edge_prop t.config +. extra_delay)
-    ~queue:(Droptail.make ~capacity:100000)
+  let l =
+    Link.make ~sim:t.sim ~bandwidth:(edge_bandwidth t.config)
+      ~delay:(edge_prop t.config +. extra_delay)
+      ~queue:(Droptail.make ~capacity:100000)
+  in
+  t.all_links <- l :: t.all_links;
+  l
 
 let attach_host t router host ~extra_delay =
   let up = edge_link t ~extra_delay and down = edge_link t ~extra_delay in

@@ -35,6 +35,11 @@ val bottleneck : t -> Link.t
 
 val bottleneck_rev : t -> Link.t
 
+(** Every link of the topology (both bottleneck directions plus all edge
+    links), in creation order — for audit sweeps and per-flow drop
+    accounting. *)
+val links : t -> Link.t list
+
 (** Create a new host on each side, fully routed.  Data can flow either
     way between them.  [extra_delay] adds one-way propagation on each edge
     link, raising this pair's RTT by [4 x extra_delay] over the base. *)

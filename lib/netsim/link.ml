@@ -17,6 +17,7 @@ type t = {
   mutable arrivals : int;
   mutable drops : int;
   mutable departures : int;
+  mutable delivered : int;  (* handed to the far-end receiver *)
   mutable bytes_out : int;
   mutable drop_hooks : (Packet.t -> unit) list;
   mutable departure_hooks : (Packet.t -> unit) list;
@@ -64,6 +65,33 @@ let flight_pop t =
 
 let tx_time t ~bytes = float_of_int (bytes * 8) /. t.bandwidth
 
+(* Conservation checkpoint, run after every [send] and [tx_done] under
+   [Audit.invariants_on].  Every packet offered to the link must be
+   accounted for exactly once: dropped at the queue, departed onto the
+   wire, still queued, or the one currently serializing; and every
+   departed packet is either delivered or in propagation.  Pure reads —
+   cannot perturb the simulation. *)
+let check_conservation t =
+  let queued = t.queue.Queue_intf.pkts () in
+  let qbytes = t.queue.Queue_intf.bytes () in
+  if queued < 0 || qbytes < 0 then
+    Engine.Audit.fail
+      "Link(%s): negative queue occupancy — %d pkts, %d bytes"
+      t.queue.Queue_intf.name queued qbytes;
+  let serializing = if t.busy then 1 else 0 in
+  let accounted = t.drops + t.departures + queued + serializing in
+  if t.arrivals <> accounted then
+    Engine.Audit.fail
+      "Link(%s): packet conservation violated — arrivals=%d but drops=%d + \
+       departures=%d + queued=%d + serializing=%d = %d"
+      t.queue.Queue_intf.name t.arrivals t.drops t.departures queued
+      serializing accounted;
+  if t.departures - t.delivered <> t.flight_len then
+    Engine.Audit.fail
+      "Link(%s): flight accounting violated — departures=%d, delivered=%d, \
+       but %d in propagation"
+      t.queue.Queue_intf.name t.departures t.delivered t.flight_len
+
 let transmit_next t =
   match t.queue.Queue_intf.dequeue () with
   | None -> t.busy <- false
@@ -86,6 +114,7 @@ let make ~sim ~bandwidth ~delay ~queue =
       arrivals = 0;
       drops = 0;
       departures = 0;
+      delivered = 0;
       bytes_out = 0;
       drop_hooks = [];
       departure_hooks = [];
@@ -97,7 +126,16 @@ let make ~sim ~bandwidth ~delay ~queue =
       flight_len = 0;
     }
   in
-  t.deliver_front <- (fun () -> t.deliver (flight_pop t));
+  t.deliver_front <-
+    (fun () ->
+      let pkt = flight_pop t in
+      if Engine.Audit.invariants_on () && pkt == Packet.dummy then
+        Engine.Audit.fail
+          "Link(%s): delivery popped the dummy packet (flight-ring \
+           corruption)"
+          t.queue.Queue_intf.name;
+      t.delivered <- t.delivered + 1;
+      t.deliver pkt);
   t.tx_done <-
     (fun () ->
       let pkt = t.tx_pkt in
@@ -112,8 +150,12 @@ let make ~sim ~bandwidth ~delay ~queue =
         flight_push t pkt;
         Engine.Sim.after t.sim t.delay t.deliver_front
       end
-      else t.deliver pkt;
-      transmit_next t);
+      else begin
+        t.delivered <- t.delivered + 1;
+        t.deliver pkt
+      end;
+      transmit_next t;
+      if Engine.Audit.invariants_on () then check_conservation t);
   t
 
 let connect t deliver = t.deliver <- deliver
@@ -122,17 +164,28 @@ let delay t = t.delay
 let queue t = t.queue
 
 let send t pkt =
+  if Engine.Audit.lifetime_on () then Packet.check_live pkt;
   t.arrivals <- t.arrivals + 1;
-  match t.queue.Queue_intf.enqueue pkt with
+  (match t.queue.Queue_intf.enqueue pkt with
   | Queue_intf.Dropped ->
     t.drops <- t.drops + 1;
-    run_hooks t.drop_hooks pkt
+    run_hooks t.drop_hooks pkt;
+    (* The queue discipline refused the packet, so nothing downstream
+       will ever see it again: this is the last reference, return pooled
+       shells to the freelist here.  (Hooks run first — they only observe
+       the packet.)  Without this, every dropped pooled ack leaked to the
+       GC and quietly drained the freelist under reverse-path loss. *)
+    Packet.release pkt
   | Queue_intf.Enqueued | Queue_intf.Marked ->
-    if not t.busy then transmit_next t
+    if not t.busy then transmit_next t);
+  if Engine.Audit.invariants_on () then check_conservation t
 
 let arrivals t = t.arrivals
 let drops t = t.drops
 let departures t = t.departures
+let delivered t = t.delivered
+let in_flight t = t.flight_len
+let busy t = t.busy
 let bytes_out t = float_of_int t.bytes_out
 
 (* Fraction of the link's capacity used over [elapsed] wall-sim seconds. *)
@@ -147,6 +200,7 @@ let counters t =
     ("arrivals", t.arrivals);
     ("drops", t.drops);
     ("departures", t.departures);
+    ("delivered", t.delivered);
     ("bytes_out", t.bytes_out);
   ]
   @ List.map

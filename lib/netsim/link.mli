@@ -16,7 +16,9 @@ val make :
 (** Set the receiver of packets at the far end (usually [Node.receive]). *)
 val connect : t -> (Packet.t -> unit) -> unit
 
-(** Offer a packet to the link's queue; may drop. *)
+(** Offer a packet to the link's queue; may drop.  A dropped pooled
+    packet is released back to the freelist after the drop hooks run —
+    the link is its last owner at that point. *)
 val send : t -> Packet.t -> unit
 
 val bandwidth : t -> float
@@ -31,7 +33,26 @@ val arrivals : t -> int
 
 val drops : t -> int
 val departures : t -> int
+
+(** Packets handed to the far-end receiver (departures that completed
+    propagation). *)
+val delivered : t -> int
+
+(** Packets currently in propagation (departed, not yet delivered). *)
+val in_flight : t -> int
+
+(** True while a packet is serializing onto the wire. *)
+val busy : t -> bool
+
 val bytes_out : t -> float
+
+(** Audit checkpoint: verify this link's conservation laws now
+    (arrivals = drops + departures + queued + serializing, and
+    departures − delivered = in flight, non-negative queue occupancy).
+    Raises [Engine.Audit.Violation] on failure.  Runs automatically after
+    every [send]/transmission completion under
+    [Engine.Audit.invariants_on]; exposed for end-of-run sweeps. *)
+val check_conservation : t -> unit
 
 (** [utilization t ~elapsed] is the fraction of capacity used over the
     last [elapsed] seconds of simulated time: [bytes_out * 8 / (bw * s)].

@@ -4,6 +4,7 @@ type t = {
   mutable default_route : Link.t option;
   agents : (int, Packet.t -> unit) Hashtbl.t;
   mutable discarded : int;
+  mutable discard_hooks : (Packet.t -> unit) list;
 }
 
 let create ~id =
@@ -13,6 +14,7 @@ let create ~id =
     default_route = None;
     agents = Hashtbl.create 16;
     discarded = 0;
+    discard_hooks = [];
   }
 
 let id t = t.id
@@ -20,6 +22,21 @@ let add_route t ~dst link = Hashtbl.replace t.routes dst link
 let set_default_route t link = t.default_route <- Some link
 let attach t ~flow handler = Hashtbl.replace t.agents flow handler
 let detach t ~flow = Hashtbl.remove t.agents flow
+let on_discard t hook = t.discard_hooks <- hook :: t.discard_hooks
+
+let rec run_hooks hooks pkt =
+  match hooks with
+  | [] -> ()
+  | h :: rest ->
+    h pkt;
+    run_hooks rest pkt
+
+(* The node is the last owner of a packet it discards; hooks observe it
+   first, then pooled shells go back to the freelist (no-op otherwise). *)
+let discard t pkt =
+  t.discarded <- t.discarded + 1;
+  run_hooks t.discard_hooks pkt;
+  Packet.release pkt
 
 (* Exception-style lookups: [Hashtbl.find_opt] allocates a [Some] per
    delivery, and this runs once per packet per hop. *)
@@ -27,7 +44,7 @@ let receive t (pkt : Packet.t) =
   if pkt.Packet.dst = t.id then begin
     match Hashtbl.find t.agents pkt.Packet.flow with
     | handler -> handler pkt
-    | exception Not_found -> t.discarded <- t.discarded + 1
+    | exception Not_found -> discard t pkt
   end
   else begin
     match Hashtbl.find t.routes pkt.Packet.dst with
@@ -35,7 +52,7 @@ let receive t (pkt : Packet.t) =
     | exception Not_found -> (
       match t.default_route with
       | Some l -> Link.send l pkt
-      | None -> t.discarded <- t.discarded + 1)
+      | None -> discard t pkt)
   end
 
 let inject = receive

@@ -29,6 +29,7 @@ type t = {
   mutable payload : payload;
   mutable ecn : bool;
   mutable pooled : bool;
+  mutable gen : int;
 }
 
 (* Atomic so that simulations running on parallel domains (Engine.Pool)
@@ -48,13 +49,14 @@ let dummy =
     payload = Plain;
     ecn = false;
     pooled = false;
+    gen = 0;
   }
 
 let make ?(size = 1000) ?(seq = 0) ?(payload = Plain) ~flow ~src ~dst ~sent_at
     () =
   let uid = 1 + Atomic.fetch_and_add uid_counter 1 in
   { uid; flow; src; dst; size; seq; sent_at; payload; ecn = false;
-    pooled = false }
+    pooled = false; gen = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Freelist                                                            *)
@@ -73,23 +75,87 @@ let freelist_key =
   Domain.DLS.new_key (fun () ->
       { items = Array.make freelist_capacity dummy; len = 0 })
 
+(* Global pooling switch (differential fuzzing): when off, the pooled
+   allocators degrade to [make] (fresh shell every call, [pooled] stays
+   false so [release] is a no-op) and [release] returns nothing to the
+   freelist.  Plain bool — toggled between runs, never mid-run. *)
+let pooling_enabled = ref true
+
+let set_pooling b = pooling_enabled := b
+let pooling () = !pooling_enabled
+
+(* Lifetime-mode poison values: written into a shell on release, always
+   overwritten by a legitimate [recycle]/[alloc_ack], so any packet still
+   carrying one was either used after release or recycled by a path that
+   forgot to reset the field.  [min_int] can never be a real sequence
+   number (sequences count sent packets from 0). *)
+let poison_seq = min_int
+
 let release p =
   if p.pooled then begin
     p.pooled <- false;
-    let fl = Domain.DLS.get freelist_key in
-    if fl.len < freelist_capacity then begin
-      Array.unsafe_set fl.items fl.len p;
-      fl.len <- fl.len + 1
+    if Engine.Audit.lifetime_on () then begin
+      p.gen <- p.gen + 1;
+      p.seq <- poison_seq;
+      p.ecn <- true;
+      match p.payload with
+      | Ack a ->
+        a.cum_seq <- poison_seq;
+        a.sack <- [ (poison_seq, poison_seq) ]
+      | Plain | Rap_ack _ | Tfrc_data _ | Tfrc_fb _ | Tear_fb _ -> ()
+    end;
+    if !pooling_enabled then begin
+      let fl = Domain.DLS.get freelist_key in
+      if fl.len < freelist_capacity then begin
+        Array.unsafe_set fl.items fl.len p;
+        fl.len <- fl.len + 1
+      end
+      (* Overflow: drop the packet; the GC reclaims it like any other. *)
     end
-    (* Overflow: drop the packet; the GC reclaims it like any other. *)
   end
+  else if Engine.Audit.lifetime_on () && p.gen > 0 then
+    (* A shell with a non-zero generation and [pooled = false] is either
+       on the freelist or already dead; a second [release] means two
+       owners both believed they were the last consumer. *)
+    Engine.Audit.fail "Packet.release: double release of shell uid=%d gen=%d"
+      p.uid p.gen
+
+(* Detect a shell that re-entered the network after release, or one a
+   recycler forgot to scrub.  Called from [Link.send] (the injection
+   chokepoint every transmitted packet crosses) under [lifetime_on]. *)
+let check_live p =
+  if (not p.pooled) && p.gen > 0 then
+    Engine.Audit.fail
+      "Packet: use-after-release — released shell uid=%d gen=%d re-entered \
+       the network"
+      p.uid p.gen;
+  if p.seq = poison_seq then
+    Engine.Audit.fail
+      "Packet: dirty reuse — shell uid=%d carries a poisoned seq (recycle \
+       path failed to reset it)"
+      p.uid;
+  match p.payload with
+  | Ack a ->
+    if a.cum_seq = poison_seq then
+      Engine.Audit.fail
+        "Packet: dirty reuse — ack shell uid=%d carries a poisoned cum_seq \
+         (alloc_ack failed to reset it)"
+        p.uid;
+    (match a.sack with
+    | (lo, _) :: _ when lo = poison_seq ->
+      Engine.Audit.fail
+        "Packet: dirty reuse — ack shell uid=%d carries poisoned sack \
+         blocks (alloc_ack failed to reset them)"
+        p.uid
+    | _ -> ())
+  | Plain | Rap_ack _ | Tfrc_data _ | Tfrc_fb _ | Tear_fb _ -> ()
 
 (* Take a packet shell from the freelist (or allocate one) and refill the
    common fields.  [payload] is left untouched for the caller to reuse or
    replace. *)
 let recycle ~size ~flow ~src ~dst ~sent_at =
   let fl = Domain.DLS.get freelist_key in
-  if fl.len > 0 then begin
+  if !pooling_enabled && fl.len > 0 then begin
     fl.len <- fl.len - 1;
     let p = Array.unsafe_get fl.items fl.len in
     Array.unsafe_set fl.items fl.len dummy;
@@ -106,7 +172,7 @@ let recycle ~size ~flow ~src ~dst ~sent_at =
   end
   else begin
     let p = make ~size ~flow ~src ~dst ~sent_at () in
-    p.pooled <- true;
+    p.pooled <- !pooling_enabled;
     p
   end
 

@@ -43,6 +43,9 @@ type t = {
   mutable pooled : bool;
       (** freelist bookkeeping: true while a pooled packet is live; do
           not touch outside {!release} *)
+  mutable gen : int;
+      (** lifetime-audit generation counter: bumped on each release when
+          {!Engine.Audit.lifetime_on}; 0 on fresh shells.  Do not touch. *)
 }
 
 (** A zero/placeholder packet for preallocated slots (never transmitted). *)
@@ -85,8 +88,27 @@ val alloc_tfrc_fb :
   tfrc_feedback -> t
 
 (** Return a pooled packet to the freelist.  No-op on packets not made by
-    the pooled allocators or already released. *)
+    the pooled allocators or already released — except under
+    {!Engine.Audit.lifetime_on}, where releasing an already-released
+    shell raises [Engine.Audit.Violation] (double release), and released
+    shells get their mutable fields poisoned so stale reuse is caught by
+    {!check_live}. *)
 val release : t -> unit
+
+(** Lifetime-audit probe: raises [Engine.Audit.Violation] if the packet
+    is a released shell re-entering the network (use-after-release) or
+    still carries release-time poison in [seq] or an [Ack] payload (dirty
+    reuse).  Call sites gate on {!Engine.Audit.lifetime_on}. *)
+val check_live : t -> unit
+
+(** Global pooled-allocation switch (default on).  When off, the pooled
+    allocators return fresh unpooled shells and {!release} returns
+    nothing to the freelist — the differential fuzzer uses this to check
+    pooled and fresh allocation produce byte-identical runs.  Toggle only
+    between simulations, never during one. *)
+val set_pooling : bool -> unit
+
+val pooling : unit -> bool
 
 val is_ack : t -> bool
 val pp : Format.formatter -> t -> unit

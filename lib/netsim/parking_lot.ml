@@ -17,6 +17,7 @@ type t = {
   backward : Link.t array;  (* backward.(i): routers.(i+1) -> routers.(i) *)
   mutable next_node_id : int;
   mutable next_flow_id : int;
+  mutable all_links : Link.t list;  (* every link, newest first *)
 }
 
 let make_queue ~sim ~rng c =
@@ -63,10 +64,13 @@ let create ~sim ~rng config =
     backward;
     next_node_id = n;
     next_flow_id = 0;
+    all_links =
+      List.rev (Array.to_list forward @ Array.to_list backward);
   }
 
 let sim t = t.sim
 let hops t = t.config.hops
+let links t = List.rev t.all_links
 
 let bottleneck t i =
   if i < 0 || i >= t.config.hops then invalid_arg "Parking_lot.bottleneck";
@@ -94,6 +98,7 @@ let add_host t ~site =
   in
   Link.connect up (Node.receive t.routers.(site));
   Link.connect down (Node.receive host);
+  t.all_links <- down :: up :: t.all_links;
   Node.set_default_route host up;
   (* Every router learns the direction of this host along the chain. *)
   Array.iteri

@@ -31,6 +31,11 @@ val hops : t -> int
 (** The forward bottleneck link leaving router [i] (towards router i+1). *)
 val bottleneck : t -> int -> Link.t
 
+(** Every link of the topology (all bottleneck directions plus host edge
+    links), in creation order — for audit sweeps and per-flow drop
+    accounting. *)
+val links : t -> Link.t list
+
 (** Attach a new host at router [site] (0-based, [<= hops]). *)
 val add_host : t -> site:int -> Node.t
 

@@ -31,6 +31,11 @@ let take_opt q =
   if q.len = 0 then None
   else begin
     let pkt = q.items.(q.head) in
+    if Engine.Audit.invariants_on () && pkt == Packet.dummy then
+      Engine.Audit.fail
+        "Pktq: occupied slot holds the dummy packet (ring index corruption \
+         at head=%d len=%d cap=%d)"
+        q.head q.len (Array.length q.items);
     q.items.(q.head) <- Packet.dummy;
     q.head <- (q.head + 1) land (Array.length q.items - 1);
     q.len <- q.len - 1;

@@ -134,6 +134,11 @@ let make_with_introspection ~sim ~rng p =
     | None -> None
     | Some pkt ->
       s.bytes <- s.bytes - pkt.Packet.size;
+      if Engine.Audit.invariants_on () && s.bytes < 0 then
+        Engine.Audit.fail
+          "Red: byte occupancy went negative (%d) after dequeueing pkt of \
+           %d bytes"
+          s.bytes pkt.Packet.size;
       if Pktq.is_empty s.q then
         Float.Array.unsafe_set s.idle_since 0 (Engine.Sim.now sim);
       Some pkt

@@ -202,6 +202,100 @@ let test_sim_scheduler_selection () =
     "default follows Scheduler.get_default" true
     (Engine.Sim.scheduler dflt = Engine.Scheduler.get_default ())
 
+(* --- timer cancellation at bucket boundaries ----------------------- *)
+
+(* Sim-level cancellation is lazy (tombstones pop and are skipped), so a
+   disarm/rearm storm leaves dead entries sitting exactly where resizes
+   move buckets around.  Run the identical timer program under both
+   schedulers — arming at dyadic times that land on bucket edges, with a
+   load spike to force a grow and a drain to force the shrink back — and
+   require the identical firing log. *)
+let timer_program sched =
+  let sim = Engine.Sim.create ~sched () in
+  let log = ref [] in
+  let n = 8 in
+  let timers =
+    Array.init n (fun i ->
+        Engine.Sim.timer sim (fun () ->
+            log := (i, Engine.Sim.now sim) :: !log))
+  in
+  let q = 1. /. 1024. in
+  (* Load spike: thousands of events on a dyadic lattice, each one
+     toggling a timer — rearming moves entries across bucket edges while
+     the ring is growing. *)
+  for k = 1 to 4000 do
+    Engine.Sim.at sim
+      (float_of_int k *. q)
+      (fun () ->
+        let i = k mod n in
+        if Engine.Sim.timer_armed timers.(i) then Engine.Sim.disarm timers.(i)
+        else
+          Engine.Sim.arm_after timers.(i)
+            (float_of_int ((k land 7) + 1) *. q))
+  done;
+  (* Sparse tail after the spike: the ring shrinks while late-armed
+     timers are still pending. *)
+  for k = 0 to 7 do
+    Engine.Sim.at sim
+      (8. +. float_of_int k)
+      (fun () -> Engine.Sim.arm_at timers.(k) (16. +. float_of_int k))
+  done;
+  Engine.Sim.run sim;
+  (Engine.Sim.events_processed sim, List.rev !log)
+
+let test_timer_cancellation_equivalence () =
+  let h = timer_program Engine.Scheduler.Heap in
+  let c = timer_program Engine.Scheduler.Calendar in
+  Alcotest.(check bool) "identical firing logs" true (h = c);
+  let _, log = c in
+  Alcotest.(check bool) "timers actually fired" true (List.length log > 100)
+
+let test_disarm_on_bucket_edge_never_fires () =
+  List.iter
+    (fun sched ->
+      let sim = Engine.Sim.create ~sched () in
+      let fired = ref false in
+      let tm = Engine.Sim.timer sim (fun () -> fired := true) in
+      (* Arm exactly on a dyadic bucket edge, then grow the ring past it
+         with a burst of later events before cancelling. *)
+      Engine.Sim.arm_at tm 1.;
+      for k = 1 to 5000 do
+        Engine.Sim.at sim (2. +. (float_of_int k /. 512.)) (fun () -> ())
+      done;
+      Engine.Sim.at sim 0.5 (fun () -> Engine.Sim.disarm tm);
+      Engine.Sim.run sim;
+      Alcotest.(check bool)
+        (Engine.Scheduler.to_string sched ^ ": cancelled alarm silent")
+        false !fired;
+      Alcotest.(check bool) "disarmed" false (Engine.Sim.timer_armed tm))
+    [ Engine.Scheduler.Heap; Engine.Scheduler.Calendar ]
+
+let test_rearm_same_instant_fifo () =
+  (* Disarm + rearm at the same timestamp: the lazy-cancel guard keys on
+     [deadline = now], which cannot tell the stale entry from the rearm,
+     so the timer fires exactly once at its *original* FIFO position —
+     before events queued in between — and the rearm's own entry no-ops.
+     What matters is that both queues implement this identically. *)
+  let program sched =
+    let sim = Engine.Sim.create ~sched () in
+    let order = ref [] in
+    let tm = Engine.Sim.timer sim (fun () -> order := "timer" :: !order) in
+    Engine.Sim.arm_at tm 1.;
+    Engine.Sim.at sim 0.5 (fun () ->
+        Engine.Sim.disarm tm;
+        Engine.Sim.at sim 1. (fun () -> order := "plain" :: !order);
+        Engine.Sim.arm_at tm 1.);
+    Engine.Sim.run sim;
+    List.rev !order
+  in
+  let h = program Engine.Scheduler.Heap in
+  Alcotest.(check (list string)) "fires once, original position"
+    [ "timer"; "plain" ] h;
+  Alcotest.(check (list string))
+    "calendar agrees"
+    h
+    (program Engine.Scheduler.Calendar)
+
 let test_scheduler_strings () =
   Alcotest.(check string) "heap" "heap"
     (Engine.Scheduler.to_string Engine.Scheduler.Heap);
@@ -229,6 +323,12 @@ let suite =
     Alcotest.test_case "equivalence: sparse" `Quick test_equivalence_sparse;
     QCheck_alcotest.to_alcotest prop_equivalence;
     QCheck_alcotest.to_alcotest prop_sim_parks_identically;
+    Alcotest.test_case "timer cancel/rearm equivalence" `Quick
+      test_timer_cancellation_equivalence;
+    Alcotest.test_case "disarm on bucket edge" `Quick
+      test_disarm_on_bucket_edge_never_fires;
+    Alcotest.test_case "rearm at same instant is FIFO" `Quick
+      test_rearm_same_instant_fifo;
     Alcotest.test_case "Sim scheduler selection" `Quick
       test_sim_scheduler_selection;
     Alcotest.test_case "Scheduler string round-trip" `Quick

@@ -155,6 +155,36 @@ let test_timing_store () =
   let s = Cache.stats ~dir in
   Alcotest.(check int) "two persisted timings" 2 s.Cache.timing_entries
 
+(* Regression: two runs sharing a cache dir used to lose timings — each
+   [save_timings] wrote only its own in-memory table, so the second save
+   clobbered the first's measurements (and both used the same temp file
+   name, racing the rename).  Saves now merge with the on-disk store. *)
+let test_timing_saves_merge () =
+  let dir = fresh_dir () in
+  let a = Cache.create ~dir () in
+  let b = Cache.create ~dir () in
+  Cache.record a "fig1#0" 1.0;
+  Cache.record a "shared#0" 1.0;
+  Cache.record b "fig2#0" 2.0;
+  Cache.record b "shared#0" 3.0;
+  Cache.save_timings a;
+  Cache.save_timings b;
+  let c = Cache.create ~dir () in
+  Alcotest.(check (option (float 1e-9))) "a's entry survives b's save"
+    (Some 1.0) (Cache.estimate c "fig1#0");
+  Alcotest.(check (option (float 1e-9))) "b's entry present" (Some 2.0)
+    (Cache.estimate c "fig2#0");
+  Alcotest.(check (option (float 1e-9))) "later saver wins on conflict"
+    (Some 3.0) (Cache.estimate c "shared#0");
+  (* No temp droppings left behind. *)
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no stray temp file %s" f)
+        false
+        (Filename.check_suffix f ".tmp"))
+    (Sys.readdir dir)
+
 let test_stats_and_clear () =
   let dir = fresh_dir () in
   let s0 = Cache.stats ~dir in
@@ -287,6 +317,7 @@ let suite =
     Alcotest.test_case "corruption self-heals" `Quick
       test_corruption_self_heals;
     Alcotest.test_case "timing store" `Quick test_timing_store;
+    Alcotest.test_case "timing saves merge" `Quick test_timing_saves_merge;
     Alcotest.test_case "stats and clear" `Quick test_stats_and_clear;
     Alcotest.test_case "'all' params embed figures" `Quick
       test_all_params_embed_figures;
