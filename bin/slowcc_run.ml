@@ -380,14 +380,18 @@ let fuzz_cmd =
             Slowcc.Fuzz.run_seeds ?pool ~quick ?out_dir ~log:print_endline
               ~seeds ()
           in
-          if report.Slowcc.Fuzz.failures = [] then (
+          if
+            report.Slowcc.Fuzz.failures = []
+            && report.Slowcc.Fuzz.soa_failures = []
+          then (
             Printf.printf "fuzz: %d seeds, no violations, no divergences\n"
               report.Slowcc.Fuzz.seeds_run;
             0)
           else (
-            Printf.printf "fuzz: %d seeds, %d FAILURE(S)\n"
+            Printf.printf "fuzz: %d seeds, %d FAILURE(S), %d SoA FAILURE(S)\n"
               report.Slowcc.Fuzz.seeds_run
-              (List.length report.Slowcc.Fuzz.failures);
+              (List.length report.Slowcc.Fuzz.failures)
+              (List.length report.Slowcc.Fuzz.soa_failures);
             List.iter
               (fun f ->
                 Printf.printf "  seed %d: %s\n    shrunk: %s\n    %s\n"
@@ -396,6 +400,9 @@ let fuzz_cmd =
                   (Slowcc.Fuzz.describe f.Slowcc.Fuzz.shrunk)
                   f.Slowcc.Fuzz.shrunk_failure)
               report.Slowcc.Fuzz.failures;
+            List.iter
+              (fun (seed, msg) -> Printf.printf "  seed %d (SoA): %s\n" seed msg)
+              report.Slowcc.Fuzz.soa_failures;
             1))
   in
   Cmd.v
@@ -408,12 +415,99 @@ let fuzz_cmd =
       const run $ verbose_arg $ quick_arg $ jobs_arg $ seeds_arg $ replay_arg
       $ out_arg)
 
+let manyflow_cmd =
+  let n_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "flows" ] ~docv:"N"
+          ~doc:
+            "Flow count.  Without $(b,--check): run a single N instead of \
+             the sweep.  With $(b,--check): equivalence flow count \
+             (default 64).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Differential mode: run the struct-of-arrays engine and the \
+             per-object engine on the same scenario and compare end-state \
+             digests; non-zero exit on mismatch.")
+  in
+  let batching_arg =
+    Arg.(
+      value & flag
+      & info [ "batching" ]
+          ~doc:
+            "Enable same-instant ack batching at the sink (single-N runs \
+             only; changes ack timing, so digests are not comparable to \
+             the per-object engine).")
+  in
+  let print_result (r : Slowcc.Manyflow.result) =
+    Printf.printf
+      "flows=%d events=%d mean=%.4f cov=%.4f cov_sampled=%.4f jain=%.4f \
+       p10=%.3f p50=%.3f p90=%.3f util=%.4f drop_rate=%.4f\n"
+      r.Slowcc.Manyflow.rn r.Slowcc.Manyflow.events r.Slowcc.Manyflow.mean_norm
+      r.Slowcc.Manyflow.cov r.Slowcc.Manyflow.cov_sampled r.Slowcc.Manyflow.jain
+      r.Slowcc.Manyflow.p10 r.Slowcc.Manyflow.p50 r.Slowcc.Manyflow.p90
+      r.Slowcc.Manyflow.utilization r.Slowcc.Manyflow.drop_rate;
+    Array.iteri
+      (fun k frac ->
+        Printf.printf "  %-10s %6.2f%%\n"
+          (Slowcc.Manyflow.bucket_label k)
+          (100. *. frac))
+      r.Slowcc.Manyflow.hist
+  in
+  let run verbose quick jobs sched n check batching =
+    setup_logs verbose;
+    apply_sched sched;
+    if check then begin
+      let n = Option.value n ~default:64 in
+      let p = Slowcc.Manyflow.default_params ~n in
+      let p =
+        if quick then { p with Slowcc.Manyflow.duration = 5. } else p
+      in
+      let soa = Slowcc.Manyflow.digest_soa p in
+      let obj = Slowcc.Manyflow.digest_object p in
+      Printf.printf "soa    %s\nobject %s\n" soa obj;
+      if String.equal soa obj then (
+        Printf.printf "manyflow check: engines identical at n=%d\n" n;
+        0)
+      else (
+        Printf.printf "manyflow check: DIVERGENCE at n=%d\n" n;
+        1)
+    end
+    else
+      match n with
+      | Some n ->
+        let p = Slowcc.Manyflow.experiment_params ~quick n in
+        let p = { p with Slowcc.Manyflow.ack_batching = batching } in
+        print_result (Slowcc.Manyflow.run p);
+        0
+      | None ->
+        Engine.Pool.with_pool ~jobs (fun pool ->
+            match Slowcc.Experiments.run_by_name ~quick ~pool "manyflow" with
+            | Some tables ->
+              List.iter (Slowcc.Table.print fmt) tables;
+              0
+            | None -> 1)
+  in
+  Cmd.v
+    (Cmd.info "manyflow"
+       ~doc:
+         "Many-flow weak-convergence distributions on the struct-of-arrays \
+          engine (sweep, single N, or SoA-vs-object differential check)")
+    Term.(
+      const run $ verbose_arg $ quick_arg $ jobs_arg $ sched_arg $ n_arg
+      $ check_arg $ batching_arg)
+
 let main =
   Cmd.group
     (Cmd.info "slowcc_run" ~version:"1.0.0"
        ~doc:
          "Reproduction driver for 'Dynamic Behavior of Slowly-Responsive \
           Congestion Control Algorithms' (SIGCOMM 2001)")
-    [ list_cmd; run_cmd; all_cmd; compete_cmd; cache_cmd; fuzz_cmd ]
+    [ list_cmd; run_cmd; all_cmd; compete_cmd; cache_cmd; fuzz_cmd; manyflow_cmd ]
 
 let () = exit (Cmd.eval' main)

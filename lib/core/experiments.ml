@@ -1002,6 +1002,62 @@ let ablation_queue_dynamics ?(quick = false) ?pool () =
     ~columns:[ "protocol"; "queue"; "mean (pkts)"; "stddev"; "CoV" ]
     rows
 
+(* Many-flow weak convergence (extension, cf. the paper's aggregate-regime
+   discussion): an ensemble of N identical TCP flows shares a dumbbell
+   sized at 16 kbit/s of fair share each, so the per-flow window sits
+   below one packet per RTT and fairness is only meaningful as a
+   distribution.  Runs on the struct-of-arrays engine; one run per N. *)
+let manyflow_results ?(quick = false) ?pool () =
+  pmap ?pool
+    (fun n -> Manyflow.run (Manyflow.experiment_params ~quick n))
+    (Manyflow.ns ~quick)
+
+let manyflow_tables ?quick ?pool () =
+  let results = manyflow_results ?quick ?pool () in
+  let stats =
+    Table.make ~id:"manyflow"
+      ~title:"Many-flow weak convergence: normalized per-flow throughput"
+      ~columns:
+        [
+          "flows"; "mean"; "CoV"; "CoV(sampled)"; "Jain"; "p10"; "p50"; "p90";
+          "util"; "drop rate"; "events";
+        ]
+      ~notes:
+        [
+          "fair share = bottleneck/N = 16 kbit/s per flow at every N";
+          "CoV(sampled) comes from a 256-flow deterministic reservoir";
+        ]
+      (List.map
+         (fun (r : Manyflow.result) ->
+           [
+             string_of_int r.Manyflow.rn;
+             fnum r.Manyflow.mean_norm;
+             fnum r.Manyflow.cov;
+             fnum r.Manyflow.cov_sampled;
+             fnum r.Manyflow.jain;
+             fnum r.Manyflow.p10;
+             fnum r.Manyflow.p50;
+             fnum r.Manyflow.p90;
+             fpct r.Manyflow.utilization;
+             fpct r.Manyflow.drop_rate;
+             string_of_int r.Manyflow.events;
+           ])
+         results)
+  in
+  let hist =
+    Table.make ~id:"manyflow-hist"
+      ~title:"Many-flow throughput histogram (fraction of flows per bucket)"
+      ~columns:
+        ("flows"
+        :: List.init Manyflow.hist_buckets (fun k -> Manyflow.bucket_label k))
+      (List.map
+         (fun (r : Manyflow.result) ->
+           string_of_int r.Manyflow.rn
+           :: Array.to_list (Array.map fnum r.Manyflow.hist))
+         results)
+  in
+  (stats, hist)
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1013,7 +1069,7 @@ let names =
     "fig20"; "table-transient"; "ablation-self-clocking";
     "ablation-conservative-c"; "ablation-droptail"; "ablation-sawtooth";
     "ablation-response-sim"; "ablation-rtt-fairness"; "ablation-binomial-l";
-    "ablation-queue-dynamics"; "ablation-10to1-fairness";
+    "ablation-queue-dynamics"; "ablation-10to1-fairness"; "manyflow";
   ]
 
 let run_by_name ?(quick = false) ?pool name =
@@ -1048,6 +1104,9 @@ let run_by_name ?(quick = false) ?pool name =
   | "ablation-binomial-l" -> Some [ ablation_binomial_l ~quick ?pool () ]
   | "ablation-queue-dynamics" -> Some [ ablation_queue_dynamics ~quick ?pool () ]
   | "ablation-10to1-fairness" -> Some [ ablation_10to1_fairness ~quick ?pool () ]
+  | "manyflow" ->
+    let stats, hist = manyflow_tables ~quick ?pool () in
+    Some [ stats; hist ]
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -1080,6 +1139,14 @@ let params_one ?(quick = false) name =
     [ bw bw_wave_31; ("cbr_fraction", Float (2. /. 3.)) ]
   | "ablation-10to1-fairness" ->
     [ ("bandwidths_bps", floats [ bw_wave_31; bw_wave_101 ]) ]
+  | "manyflow" ->
+    [
+      ( "flows",
+        List
+          (List.map (fun n -> Float (float_of_int n)) (Manyflow.ns ~quick)) );
+      ("per_flow_bw_bps", Float 16000.);
+      ("engine", String "soa");
+    ]
   | _ -> []
 
 (* The combined run embeds every experiment's parameter record, so an

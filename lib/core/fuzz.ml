@@ -532,13 +532,25 @@ type failure = {
   repro_path : string option;
 }
 
-type report = { seeds_run : int; failures : failure list }
+type report = {
+  seeds_run : int;
+  failures : failure list;
+  soa_failures : (int * string) list;
+}
 
 let run_seeds ?pool ?(quick = false) ?out_dir ?(log = fun _ -> ())
     ~seeds () =
   if seeds < 1 then invalid_arg "Fuzz.run_seeds: seeds >= 1";
   let failures = ref [] in
+  let soa_failures = ref [] in
   for seed = 0 to seeds - 1 do
+    (* SoA leg: the struct-of-arrays many-flow engine must end
+       byte-identical to per-object senders on a randomized instance. *)
+    (match Manyflow.fuzz_check ~quick seed with
+    | None -> ()
+    | Some msg ->
+      log (Printf.sprintf "seed %d SoA FAILED: %s" seed msg);
+      soa_failures := (seed, msg) :: !soa_failures);
     let sc = generate ~quick seed in
     (match check ?pool sc with
     | None -> ()
@@ -560,7 +572,13 @@ let run_seeds ?pool ?(quick = false) ?out_dir ?(log = fun _ -> ())
         :: !failures);
     if (seed + 1) mod 25 = 0 then
       log
-        (Printf.sprintf "%d/%d seeds, %d failure(s)" (seed + 1) seeds
-           (List.length !failures))
+        (Printf.sprintf "%d/%d seeds, %d failure(s), %d SoA failure(s)"
+           (seed + 1) seeds
+           (List.length !failures)
+           (List.length !soa_failures))
   done;
-  { seeds_run = seeds; failures = List.rev !failures }
+  {
+    seeds_run = seeds;
+    failures = List.rev !failures;
+    soa_failures = List.rev !soa_failures;
+  }

@@ -65,10 +65,18 @@ type failure = {
   repro_path : string option;
 }
 
-type report = { seeds_run : int; failures : failure list }
+type report = {
+  seeds_run : int;
+  failures : failure list;
+  soa_failures : (int * string) list;
+      (** seeds where {!Manyflow.fuzz_check} found the struct-of-arrays
+          engine diverging from the per-object engine *)
+}
 
-(** Run seeds [0 .. seeds-1].  [out_dir] enables reproducer dumps; [log]
-    receives human-readable progress lines. *)
+(** Run seeds [0 .. seeds-1].  Each seed runs both the scenario
+    differential legs and the SoA-vs-object equivalence leg.  [out_dir]
+    enables reproducer dumps; [log] receives human-readable progress
+    lines. *)
 val run_seeds :
   ?pool:Engine.Pool.t ->
   ?quick:bool ->

@@ -202,6 +202,30 @@ let[@inline] add t ~time value =
   Float.Array.unsafe_set t.staging 0 time;
   add_staged t (Obj.repr value)
 
+let alloc_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
+(* Unlike [Event_heap.add_with_seq], no [seq < next_seq] guard: the
+   consolidated RTO wheel is itself a calendar queue whose entries carry
+   seqs allocated from the *simulator's* queue, so its own counter never
+   advances. *)
+let add_with_seq t ~time ~seq value =
+  if not (Float.is_finite time) || time < 0. then
+    invalid_arg
+      "Calendar_queue.add_with_seq: time must be finite and non-negative";
+  if seq < 0 then invalid_arg "Calendar_queue.add_with_seq: negative seq";
+  if t.free < 0 then grow_pool t;
+  let n = t.free in
+  t.free <- Array.unsafe_get t.nexts n;
+  Array.unsafe_set t.times n time;
+  Array.unsafe_set t.seqs n seq;
+  Array.unsafe_set t.vals n (Obj.repr value);
+  insert_node t n;
+  t.size <- t.size + 1;
+  if t.size > 2 * (t.mask + 1) then resize t (2 * (t.mask + 1))
+
 (* Nothing inside its own window for a whole year: direct search over
    the bucket heads (each head is its bucket's minimum).  Rare — only
    sparse horizons reach it.  Compares by node index so only int refs
@@ -300,6 +324,14 @@ let[@inline] min_time t =
   end
 
 let peek_time t = if t.size = 0 then None else Some (min_time t)
+
+(* Insertion seq of the earliest event; [Invalid_argument] when empty. *)
+let min_seq t =
+  if t.size = 0 then invalid_arg "Calendar_queue.min_seq: empty queue"
+  else begin
+    let b = find_min_bucket t in
+    Array.unsafe_get t.seqs (Array.unsafe_get t.buckets b)
+  end
 
 let pop t =
   if t.size = 0 then None

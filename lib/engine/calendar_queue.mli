@@ -15,6 +15,28 @@ val create : unit -> 'a t
     slow; the simulator never does it. *)
 val add : 'a t -> time:float -> 'a -> unit
 
+(** {2 Explicit sequence numbers}
+
+    Same contract as {!Event_heap.alloc_seq}/{!Event_heap.add_with_seq}:
+    burn a tie-break counter value without inserting, then insert at an
+    explicitly chosen seq.  Used by the consolidated RTO wheel to place
+    its single simulator entry at the exact logical position a per-flow
+    insertion would have had.  The caller must preserve pop-order: never
+    insert a (time, seq) pair sorting before an already dequeued event. *)
+
+(** Advance the insertion counter by one and return the burned value. *)
+val alloc_seq : 'a t -> int
+
+(** [add_with_seq t ~time ~seq v] schedules [v] at [time] with the
+    explicit tie-break [seq].  [seq] may come from another queue's
+    counter (the wheel stores simulator seqs); it only has to be
+    non-negative and respect pop-order. *)
+val add_with_seq : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** Insertion seq of the earliest event.  Raises [Invalid_argument] on an
+    empty queue. *)
+val min_seq : 'a t -> int
+
 (** Remove and return the earliest event, or [None] if empty. *)
 val pop : 'a t -> (float * 'a) option
 

@@ -126,6 +126,20 @@ let[@inline] add t ~time value =
   Float.Array.unsafe_set t.staging 0 time;
   add_staged t (Obj.repr value)
 
+let alloc_seq t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  seq
+
+let add_with_seq t ~time ~seq value =
+  if not (Float.is_finite time) then
+    invalid_arg "Event_heap.add_with_seq: non-finite time";
+  if seq < 0 || seq >= t.next_seq then
+    invalid_arg "Event_heap.add_with_seq: seq was not allocated";
+  if t.len = Array.length t.times then grow t;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1) ~time ~seq (Obj.repr value)
+
 let is_empty t = t.len = 0
 let size t = t.len
 
@@ -134,6 +148,11 @@ let[@inline] min_time t =
   if t.len = 0 then Float.nan else Array.unsafe_get t.times 0
 
 let peek_time t = if t.len = 0 then None else Some t.times.(0)
+
+(* Insertion seq of the earliest event; callers check [is_empty] first. *)
+let[@inline] min_seq t =
+  if t.len = 0 then invalid_arg "Event_heap.min_seq: empty heap"
+  else Array.unsafe_get t.seqs 0
 
 let remove_top t =
   let last = t.len - 1 in

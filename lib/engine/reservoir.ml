@@ -1,0 +1,50 @@
+type 'a t = {
+  rng : Rng.t;
+  k : int;
+  mutable items : 'a array;  (* length k once the first element arrives *)
+  mutable size : int;
+  mutable seen : int;
+}
+
+let create ~rng ~k =
+  if k < 1 then invalid_arg "Reservoir.create: k >= 1 required";
+  { rng; k; items = [||]; size = 0; seen = 0 }
+
+(* Algorithm R (Vitter): element number n (1-based) replaces a uniformly
+   chosen slot with probability k/n.  Inclusion probability of every
+   element after n offers is exactly k/n. *)
+let offer t x =
+  t.seen <- t.seen + 1;
+  if t.size < t.k then begin
+    if Array.length t.items = 0 then t.items <- Array.make t.k x;
+    t.items.(t.size) <- x;
+    t.size <- t.size + 1
+  end
+  else begin
+    let j = Rng.int t.rng t.seen in
+    if j < t.k then t.items.(j) <- x
+  end
+
+let seen t = t.seen
+let size t = t.size
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    acc := t.items.(i) :: !acc
+  done;
+  !acc
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.items.(i)
+  done
+
+let indices ~rng ~k n =
+  let r = create ~rng ~k in
+  for i = 0 to n - 1 do
+    offer r i
+  done;
+  let a = Array.sub r.items 0 r.size in
+  Array.sort compare a;
+  a

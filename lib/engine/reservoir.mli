@@ -1,0 +1,35 @@
+(** Deterministic reservoir sampling (Algorithm R).
+
+    A reservoir keeps a uniform sample of size [k] over a stream of
+    unknown length: after [n >= k] offers, every offered item is present
+    with probability exactly [k / n].  Randomness comes from the caller's
+    {!Rng.t}, so a fixed seed gives a fixed sample — snapshots built from
+    a reservoir are reproducible across runs and across [--jobs] widths
+    (each sampler owns its stream; no shared global state). *)
+
+type 'a t
+
+(** [create ~rng ~k] makes an empty reservoir holding at most [k]
+    elements.  Raises [Invalid_argument] if [k < 1]. *)
+val create : rng:Rng.t -> k:int -> 'a t
+
+(** Offer the next stream element. *)
+val offer : 'a t -> 'a -> unit
+
+(** Elements offered so far. *)
+val seen : 'a t -> int
+
+(** Elements currently held, [min k (seen t)]. *)
+val size : 'a t -> int
+
+(** Snapshot of the current sample in slot order (an implementation
+    order, not the stream order). *)
+val to_list : 'a t -> 'a list
+
+(** Iterate over the current sample in slot order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [indices ~rng ~k n] samples [min k n] distinct indices uniformly from
+    [0 .. n-1] by streaming them through a reservoir, returned sorted
+    ascending.  Deterministic for a fixed [rng] state. *)
+val indices : rng:Rng.t -> k:int -> int -> int array

@@ -57,6 +57,23 @@ let at t time f =
       (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time (now t));
   q_add t ~time f
 
+(* Explicit-seq scheduling, for aggregating schedulers (the SoA RTO
+   wheel): burn a tie-break seq now, insert the one physical entry at
+   that logical position later.  See Event_heap/Calendar_queue. *)
+let alloc_seq t =
+  match t.q with
+  | Q_heap h -> Event_heap.alloc_seq h
+  | Q_cal c -> Calendar_queue.alloc_seq c
+
+let at_seq t time ~seq f =
+  if time < now t then
+    invalid_arg
+      (Printf.sprintf "Sim.at_seq: time %g is in the past (now %g)" time
+         (now t));
+  match t.q with
+  | Q_heap h -> Event_heap.add_with_seq h ~time ~seq f
+  | Q_cal c -> Calendar_queue.add_with_seq c ~time ~seq f
+
 let[@inline] after t delay f = at t (now t +. delay) f
 
 let at_cancellable t time f =
@@ -75,29 +92,57 @@ let after_cancellable t delay f = at_cancellable t (now t +. delay) f
 let cancel handle = handle.live <- false
 let pending handle = handle.live
 
-(* Reusable timers: one guarded closure and one queue entry per arming,
-   zero allocation on re-arm.  Cancellation is lazy — [disarm] just clears
-   [armed] and the stale queue entry no-ops when it fires.  The deadline
-   check distinguishes a live arming from stale entries left by earlier
-   armings of the same timer: the simulator sets the clock to the event's
-   scheduled time exactly, so [deadline = now] holds iff this entry is the
-   one most recently armed. *)
+(* Reusable timers: one guarded closure, zero allocation on re-arm, and —
+   crucially for re-arm-heavy users like the TCP RTO, which pushes its
+   deadline out on every ack — at most ONE live queue entry per timer.
+   [queued] tracks the tracked entry's scheduled time (infinity when
+   none).  Arming later than the tracked entry is O(1): the deadline cell
+   moves but no event is inserted; when the tracked entry pops it notices
+   the deadline is still in the future and re-pushes itself there.
+   Arming earlier inserts a new entry and orphans the old one, which
+   no-ops on pop ([queued] no longer matches its time).  Cancellation is
+   lazy — [disarm] clears [armed] and the entry chain dies on first pop.
+   Firing times are identical to eager insertion: the entry chain always
+   reaches the live deadline exactly (the simulator sets the clock to the
+   event's scheduled time, so [deadline = now] identifies arrival). *)
 type timer = {
   tsim : t;
   mutable armed : bool;
   deadline : floatarray;
+  queued : floatarray;
+      (* cell 0: scheduled time of the tracked queue entry; infinity when
+         no entry is live.  Invariant while armed: queued <= deadline. *)
   mutable fire : unit -> unit;
 }
 
 let timer t f =
   let tm =
-    { tsim = t; armed = false; deadline = Float.Array.create 1; fire = ignore }
+    {
+      tsim = t;
+      armed = false;
+      deadline = Float.Array.create 1;
+      queued = Float.Array.make 1 Float.infinity;
+      fire = ignore;
+    }
   in
   tm.fire <-
     (fun () ->
-      if tm.armed && Float.Array.unsafe_get tm.deadline 0 = now t then begin
-        tm.armed <- false;
-        f ()
+      let tnow = now t in
+      if Float.Array.unsafe_get tm.queued 0 = tnow then begin
+        Float.Array.unsafe_set tm.queued 0 Float.infinity;
+        if tm.armed then begin
+          let d = Float.Array.unsafe_get tm.deadline 0 in
+          if d = tnow then begin
+            tm.armed <- false;
+            f ()
+          end
+          else begin
+            (* Re-armed later since this entry was queued: chase the live
+               deadline with a fresh entry. *)
+            Float.Array.unsafe_set tm.queued 0 d;
+            q_add t ~time:d tm.fire
+          end
+        end
       end);
   tm
 
@@ -109,7 +154,10 @@ let arm_at tm time =
          (now t));
   Float.Array.unsafe_set tm.deadline 0 time;
   tm.armed <- true;
-  q_add t ~time tm.fire
+  if Float.Array.unsafe_get tm.queued 0 > time then begin
+    Float.Array.unsafe_set tm.queued 0 time;
+    q_add t ~time tm.fire
+  end
 
 let[@inline] arm_after tm delay = arm_at tm (now tm.tsim +. delay)
 let disarm tm = tm.armed <- false

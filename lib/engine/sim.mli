@@ -30,6 +30,25 @@ val at : t -> float -> (unit -> unit) -> unit
 (** [after t delay f] runs [f] at [now t +. delay]. *)
 val after : t -> float -> (unit -> unit) -> unit
 
+(** {2 Explicit sequence numbers}
+
+    Events at equal timestamps pop in insertion order, tie-broken by a
+    per-queue counter.  An aggregating scheduler (the struct-of-arrays
+    RTO wheel) funnels many logical timers through few physical queue
+    entries, yet must preserve the exact pop position each logical
+    insertion would have had.  [alloc_seq] burns one counter value
+    without inserting; [at_seq] schedules an event at a previously
+    burned seq.  Misuse breaks FIFO-at-equal-times determinism — never
+    insert a (time, seq) that sorts before an already dequeued event. *)
+
+(** Advance the queue's insertion counter by one, returning the value. *)
+val alloc_seq : t -> int
+
+(** [at_seq t time ~seq f] runs [f] at absolute [time], tie-broken as
+    the [seq]-th insertion.  Scheduling in the past raises
+    [Invalid_argument]. *)
+val at_seq : t -> float -> seq:int -> (unit -> unit) -> unit
+
 (** Cancellable variants. *)
 val at_cancellable : t -> float -> (unit -> unit) -> handle
 
@@ -47,7 +66,11 @@ val pending : handle -> bool
     creation.  Unlike {!after_cancellable} — which allocates a handle and
     a fresh guarded closure per scheduling — re-arming a timer allocates
     nothing, which matters for per-ack retransmit timers.  Arming while
-    already armed simply replaces the deadline. *)
+    already armed simply replaces the deadline.  A timer keeps at most one
+    live queue entry: re-arming LATER than the pending entry is O(1) (the
+    entry chases the deadline when it pops), so the ack-path pattern
+    "push the RTO out on every ack" costs one queue insert per RTO
+    interval, not one per ack.  Firing times are unchanged. *)
 
 type timer
 

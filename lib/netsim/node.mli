@@ -12,10 +12,19 @@ val add_route : t -> dst:int -> Link.t -> unit
 (** Route for any destination without an explicit entry. *)
 val set_default_route : t -> Link.t -> unit
 
-(** Register the handler for packets of [flow] terminating here. *)
+(** Register the handler for packets of [flow] terminating here.  Small
+    non-negative flow ids go into a dense dispatch array (delivery is a
+    bounds-checked load); negative or very large ids fall back to a
+    hash table. *)
 val attach : t -> flow:int -> (Packet.t -> unit) -> unit
 
 val detach : t -> flow:int -> unit
+
+(** [reserve t ~flows:n] pre-sizes the dense dispatch table for flow ids
+    [0 .. n-1] in one allocation, avoiding doubling-growth overshoot.
+    Many-flow engines call this once up front; attaching without a
+    reservation still works (the table grows amortized). *)
+val reserve : t -> flows:int -> unit
 
 (** Deliver a packet to this node: dispatch locally if [pkt.dst] is this
     node, otherwise forward along the route.  Packets for unknown flows or

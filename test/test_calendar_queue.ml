@@ -308,9 +308,62 @@ let test_scheduler_strings () =
   Alcotest.(check bool) "parse junk" true
     (Engine.Scheduler.of_string "splay" = None)
 
+(* Explicit sequence numbers, mirrored from the heap: burned-seq order
+   must survive bucket placement and resizes. *)
+let test_explicit_seq_order () =
+  let q = Cq.create () in
+  let s1 = Cq.alloc_seq q in
+  let s2 = Cq.alloc_seq q in
+  Cq.add_with_seq q ~time:1. ~seq:s2 "second";
+  Cq.add q ~time:1. "third";
+  Cq.add_with_seq q ~time:1. ~seq:s1 "first";
+  Alcotest.(check int) "min_seq" s1 (Cq.min_seq q);
+  let pop () =
+    match Cq.pop q with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "unexpected empty queue"
+  in
+  Alcotest.(check string) "seq order 1" "first" (pop ());
+  Alcotest.(check string) "seq order 2" "second" (pop ());
+  Alcotest.(check string) "seq order 3" "third" (pop ())
+
+let test_explicit_seq_validation () =
+  let q = Cq.create () in
+  Alcotest.check_raises "negative seq"
+    (Invalid_argument "Calendar_queue.add_with_seq: negative seq") (fun () ->
+      Cq.add_with_seq q ~time:1. ~seq:(-1) ());
+  Alcotest.check_raises "min_seq empty"
+    (Invalid_argument "Calendar_queue.min_seq: empty queue") (fun () ->
+      ignore (Cq.min_seq q))
+
+let test_explicit_seq_across_resize () =
+  (* Foreign seqs (a second queue's counter, as the wheel does with the
+     simulator's) stay FIFO-consistent through grow and shrink. *)
+  let master = Cq.create () in
+  let q = Cq.create () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    let seq = Cq.alloc_seq master in
+    Cq.add_with_seq q ~time:(float_of_int (i mod 7)) ~seq i
+  done;
+  let last = ref (-1., -1) in
+  for _ = 1 to n do
+    let tm = Cq.min_time q in
+    let sm = Cq.min_seq q in
+    if (tm, sm) <= !last then Alcotest.fail "pop order not (time, seq)";
+    last := (tm, sm);
+    ignore (Cq.take q)
+  done;
+  Alcotest.(check bool) "drained" true (Cq.is_empty q)
+
 let suite =
   [
     Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "explicit seq order" `Quick test_explicit_seq_order;
+    Alcotest.test_case "explicit seq validation" `Quick
+      test_explicit_seq_validation;
+    Alcotest.test_case "explicit seq across resize" `Quick
+      test_explicit_seq_across_resize;
     Alcotest.test_case "time ordering" `Quick test_ordering;
     Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
     Alcotest.test_case "take and min_time" `Quick test_take_min_time;

@@ -119,9 +119,42 @@ let prop_size_tracks =
       pop_k half;
       ok_after_add && Engine.Event_heap.size h = n - half)
 
+(* Explicit sequence numbers: the aggregating RTO wheel burns seqs with
+   [alloc_seq] and inserts them later with [add_with_seq]; at equal
+   timestamps entries must pop in burned-seq order regardless of the
+   order the inserts actually happened. *)
+let test_explicit_seq_order () =
+  let h = Engine.Event_heap.create () in
+  let s1 = Engine.Event_heap.alloc_seq h in
+  let s2 = Engine.Event_heap.alloc_seq h in
+  Engine.Event_heap.add_with_seq h ~time:1. ~seq:s2 "second";
+  Engine.Event_heap.add h ~time:1. "third";
+  Engine.Event_heap.add_with_seq h ~time:1. ~seq:s1 "first";
+  Alcotest.(check int) "min_seq" s1 (Engine.Event_heap.min_seq h);
+  let pop () =
+    match Engine.Event_heap.pop h with
+    | Some (_, v) -> v
+    | None -> Alcotest.fail "unexpected empty heap"
+  in
+  Alcotest.(check string) "seq order 1" "first" (pop ());
+  Alcotest.(check string) "seq order 2" "second" (pop ());
+  Alcotest.(check string) "seq order 3" "third" (pop ())
+
+let test_explicit_seq_rejects_unallocated () =
+  let h = Engine.Event_heap.create () in
+  Alcotest.check_raises "unallocated"
+    (Invalid_argument "Event_heap.add_with_seq: seq was not allocated")
+    (fun () -> Engine.Event_heap.add_with_seq h ~time:1. ~seq:7 ());
+  Alcotest.check_raises "min_seq empty"
+    (Invalid_argument "Event_heap.min_seq: empty heap") (fun () ->
+      ignore (Engine.Event_heap.min_seq h))
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "explicit seq order" `Quick test_explicit_seq_order;
+    Alcotest.test_case "explicit seq validation" `Quick
+      test_explicit_seq_rejects_unallocated;
     Alcotest.test_case "time ordering" `Quick test_ordering;
     Alcotest.test_case "FIFO tie-break" `Quick test_fifo_ties;
     Alcotest.test_case "peek" `Quick test_peek;

@@ -94,6 +94,9 @@ let test_small_campaign_clean () =
   | f :: _ ->
     Alcotest.failf "seed %d failed: %s" f.Fuzz.scenario.Fuzz.seed
       f.Fuzz.first_failure);
+  (match report.Fuzz.soa_failures with
+  | [] -> ()
+  | (seed, msg) :: _ -> Alcotest.failf "seed %d SoA leg failed: %s" seed msg);
   Alcotest.(check int) "no violations recorded" 0
     (Engine.Audit.violation_count ())
 

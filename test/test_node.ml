@@ -46,9 +46,82 @@ let test_no_route_discards () =
   Netsim.Node.receive node (mk_pkt ~flow:0 ~dst:99);
   Alcotest.(check int) "discarded" 1 (Netsim.Node.discarded node)
 
+(* Dense dispatch: small non-negative flow ids live in an array, huge or
+   negative ids fall back to the hash table, and the two behave
+   identically through attach/detach/reserve. *)
+let sparse_flow = 1 lsl 21 (* beyond the dense table's id ceiling *)
+
+let test_dense_and_sparse_dispatch () =
+  let node = Netsim.Node.create ~id:5 in
+  let got = ref [] in
+  let record pkt = got := pkt.Netsim.Packet.flow :: !got in
+  Netsim.Node.attach node ~flow:3 record;
+  Netsim.Node.attach node ~flow:sparse_flow record;
+  Netsim.Node.attach node ~flow:(-2) record;
+  Netsim.Node.receive node (mk_pkt ~flow:3 ~dst:5);
+  Netsim.Node.receive node (mk_pkt ~flow:sparse_flow ~dst:5);
+  Netsim.Node.receive node (mk_pkt ~flow:(-2) ~dst:5);
+  Alcotest.(check (list int))
+    "all three paths dispatch"
+    [ 3; sparse_flow; -2 ]
+    (List.rev !got);
+  Alcotest.(check int) "nothing discarded" 0 (Netsim.Node.discarded node)
+
+let test_detach_both_paths () =
+  let node = Netsim.Node.create ~id:5 in
+  Netsim.Node.attach node ~flow:3 (fun _ -> Alcotest.fail "detached dense");
+  Netsim.Node.attach node ~flow:sparse_flow (fun _ ->
+      Alcotest.fail "detached sparse");
+  Netsim.Node.detach node ~flow:3;
+  Netsim.Node.detach node ~flow:sparse_flow;
+  Netsim.Node.receive node (mk_pkt ~flow:3 ~dst:5);
+  Netsim.Node.receive node (mk_pkt ~flow:sparse_flow ~dst:5);
+  Alcotest.(check int) "both discarded" 2 (Netsim.Node.discarded node)
+
+let test_attach_replaces () =
+  let node = Netsim.Node.create ~id:5 in
+  let hits = ref 0 in
+  Netsim.Node.attach node ~flow:3 (fun _ -> Alcotest.fail "stale handler");
+  Netsim.Node.attach node ~flow:3 (fun _ -> incr hits);
+  Netsim.Node.receive node (mk_pkt ~flow:3 ~dst:5);
+  Alcotest.(check int) "replacement handler ran" 1 !hits
+
+let test_reserve_bulk_attach () =
+  let node = Netsim.Node.create ~id:5 in
+  let n = 10_000 in
+  Netsim.Node.reserve node ~flows:n;
+  let hits = Array.make n 0 in
+  for f = 0 to n - 1 do
+    Netsim.Node.attach node ~flow:f (fun pkt ->
+        let i = pkt.Netsim.Packet.flow in
+        hits.(i) <- hits.(i) + 1)
+  done;
+  for f = 0 to n - 1 do
+    Netsim.Node.receive node (mk_pkt ~flow:f ~dst:5)
+  done;
+  Alcotest.(check bool)
+    "every reserved flow dispatched exactly once" true
+    (Array.for_all (fun c -> c = 1) hits);
+  Alcotest.(check int) "no discards" 0 (Netsim.Node.discarded node)
+
+let test_unattached_dense_id_discarded () =
+  let node = Netsim.Node.create ~id:5 in
+  Netsim.Node.reserve node ~flows:100;
+  Netsim.Node.receive node (mk_pkt ~flow:50 ~dst:5);
+  Alcotest.(check int)
+    "reserved but unattached id discards" 1
+    (Netsim.Node.discarded node)
+
 let suite =
   [
     Alcotest.test_case "local dispatch" `Quick test_local_dispatch;
+    Alcotest.test_case "dense and sparse dispatch" `Quick
+      test_dense_and_sparse_dispatch;
+    Alcotest.test_case "detach on both paths" `Quick test_detach_both_paths;
+    Alcotest.test_case "attach replaces handler" `Quick test_attach_replaces;
+    Alcotest.test_case "reserve + bulk attach" `Quick test_reserve_bulk_attach;
+    Alcotest.test_case "unattached dense id discarded" `Quick
+      test_unattached_dense_id_discarded;
     Alcotest.test_case "unknown flow discarded" `Quick
       test_unknown_flow_discarded;
     Alcotest.test_case "detach" `Quick test_detach;

@@ -1,0 +1,116 @@
+(* Deterministic reservoir sampling: fixed-seed reproducibility, uniform
+   inclusion, and independence from worker-pool width (each sampler owns
+   its Rng, so --jobs must never change a sample). *)
+
+module R = Engine.Reservoir
+
+let offer_range r n =
+  for i = 0 to n - 1 do
+    R.offer r i
+  done
+
+let sample ~seed ~k n =
+  let r = R.create ~rng:(Engine.Rng.create ~seed) ~k in
+  offer_range r n;
+  List.sort compare (R.to_list r)
+
+let test_fixed_seed_deterministic () =
+  let a = sample ~seed:42 ~k:16 1000 in
+  let b = sample ~seed:42 ~k:16 1000 in
+  Alcotest.(check (list int)) "same seed, same sample" a b;
+  let c = sample ~seed:43 ~k:16 1000 in
+  Alcotest.(check bool) "different seed, different sample" true (a <> c)
+
+let test_size_and_seen () =
+  let r = R.create ~rng:(Engine.Rng.create ~seed:1) ~k:5 in
+  offer_range r 3;
+  Alcotest.(check int) "partial fill size" 3 (R.size r);
+  Alcotest.(check int) "partial fill seen" 3 (R.seen r);
+  Alcotest.(check (list int))
+    "short stream kept verbatim" [ 0; 1; 2 ]
+    (List.sort compare (R.to_list r));
+  offer_range r 97;
+  Alcotest.(check int) "capped at k" 5 (R.size r);
+  Alcotest.(check int) "seen counts every offer" 100 (R.seen r)
+
+let test_create_rejects_bad_k () =
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Reservoir.create: k >= 1 required") (fun () ->
+      ignore (R.create ~rng:(Engine.Rng.create ~seed:1) ~k:0))
+
+let test_indices_shape () =
+  let idx = R.indices ~rng:(Engine.Rng.create ~seed:7) ~k:32 1000 in
+  Alcotest.(check int) "k indices" 32 (Array.length idx);
+  Array.iter
+    (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 1000))
+    idx;
+  let sorted = Array.to_list idx in
+  Alcotest.(check (list int)) "sorted ascending" (List.sort compare sorted)
+    sorted;
+  Alcotest.(check int) "distinct"
+    (List.length (List.sort_uniq compare sorted))
+    (List.length sorted)
+
+let test_indices_small_n () =
+  let idx = R.indices ~rng:(Engine.Rng.create ~seed:7) ~k:32 5 in
+  Alcotest.(check (list int))
+    "k >= n keeps everything" [ 0; 1; 2; 3; 4 ] (Array.to_list idx)
+
+(* Uniformity: over many independent seeds, every index of [0, n) must
+   be included with empirical frequency close to k/n.  With 2000 trials,
+   n = 20, k = 5, each index is a Binomial(2000, 0.25): mean 500,
+   sigma ~ 19.4; a +-100 band is > 5 sigma, so a correct implementation
+   fails with negligible probability while an off-by-one in Algorithm R's
+   acceptance bound (the classic bug, biasing early or late elements)
+   shifts some count by ~10 sigma. *)
+let test_uniform_inclusion () =
+  let n = 20 and k = 5 and trials = 2000 in
+  let counts = Array.make n 0 in
+  for seed = 0 to trials - 1 do
+    Array.iter
+      (fun i -> counts.(i) <- counts.(i) + 1)
+      (R.indices ~rng:(Engine.Rng.create ~seed) ~k n)
+  done;
+  let expected = trials * k / n in
+  Array.iteri
+    (fun i c ->
+      if abs (c - expected) > 100 then
+        Alcotest.failf "index %d included %d times (expected %d +- 100)" i c
+          expected)
+    counts
+
+let prop_indices_well_formed =
+  QCheck2.Test.make ~name:"indices are sorted distinct in-range" ~count:100
+    QCheck2.Gen.(triple (int_range 1 64) (int_range 1 200) (int_range 0 9999))
+    (fun (k, n, seed) ->
+      let idx = R.indices ~rng:(Engine.Rng.create ~seed) ~k n in
+      let l = Array.to_list idx in
+      Array.length idx = min k n
+      && List.sort_uniq compare l = l
+      && List.for_all (fun i -> i >= 0 && i < n) l)
+
+(* The property the sampled many-flow stats rely on: the sample is a
+   function of the seed alone, so computing it inside a worker pool at
+   any width gives the byte-identical result. *)
+let test_stable_across_jobs () =
+  let job seed () = sample ~seed ~k:16 1000 in
+  let serial = List.map (fun s -> job s ()) [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let pooled =
+    Engine.Pool.with_pool ~jobs:4 (fun pool ->
+        Engine.Pool.map_list pool (fun s -> job s ()) [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+  in
+  Alcotest.(check (list (list int))) "jobs=1 equals jobs=4" serial pooled
+
+let suite =
+  [
+    Alcotest.test_case "fixed seed determinism" `Quick
+      test_fixed_seed_deterministic;
+    Alcotest.test_case "size and seen" `Quick test_size_and_seen;
+    Alcotest.test_case "rejects k < 1" `Quick test_create_rejects_bad_k;
+    Alcotest.test_case "indices shape" `Quick test_indices_shape;
+    Alcotest.test_case "indices with k >= n" `Quick test_indices_small_n;
+    Alcotest.test_case "uniform inclusion" `Quick test_uniform_inclusion;
+    QCheck_alcotest.to_alcotest prop_indices_well_formed;
+    Alcotest.test_case "stable across pool widths" `Quick
+      test_stable_across_jobs;
+  ]
