@@ -35,6 +35,15 @@ let () =
             | None ->
               raise (Arg.Bad ("unknown scheduler " ^ s ^ " (heap|calendar)"))),
         "event-queue implementation: heap or calendar (default calendar)" );
+      ( "--ff",
+        Arg.String
+          (fun s ->
+            match Engine.Fastforward.of_string s with
+            | Some m -> Engine.Fastforward.set_default m
+            | None ->
+              raise (Arg.Bad ("unknown fast-forward mode " ^ s ^ " (on|off)"))),
+        "hybrid fluid/packet fast-forward: on or off (default off; on \
+         makes results approximate and changes cache keys)" );
       ("--perf", Arg.Set perf, "run simulator micro-benchmarks instead");
       ( "--quick-micro",
         Arg.Set quick_micro,

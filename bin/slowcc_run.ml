@@ -52,6 +52,29 @@ let sched_arg =
 
 let apply_sched = Option.iter Engine.Scheduler.set_default
 
+let ff_conv =
+  let parse s =
+    match Engine.Fastforward.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown fast-forward mode %S (on|off)" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Engine.Fastforward.to_string m) in
+  Arg.conv (parse, print)
+
+let ff_arg =
+  Arg.(
+    value
+    & opt (some ff_conv) None
+    & info [ "ff" ] ~docv:"MODE"
+        ~doc:
+          "Hybrid fluid/packet fast-forward: $(b,on) or $(b,off) (default \
+           off, or $(b,SLOWCC_FF)).  When on, transient scenarios freeze \
+           packet-level simulation during detected steady state and advance \
+           flows analytically; results are approximate, so manifests record \
+           the mode and digests are only comparable within a mode.")
+
+let apply_ff = Option.iter Engine.Fastforward.set_default
+
 let out_dir_arg =
   Arg.(
     value
@@ -134,9 +157,10 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig7.")
   in
-  let run verbose quick jobs sched out_dir emit cache_dir no_cache name =
+  let run verbose quick jobs sched ff out_dir emit cache_dir no_cache name =
     setup_logs verbose;
     apply_sched sched;
+    apply_ff ff;
     let cache = open_cache ~cache_dir ~no_cache in
     Engine.Pool.with_pool ~jobs (fun pool ->
         let result =
@@ -163,12 +187,13 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
     Term.(
-      const run $ verbose_arg $ quick_arg $ jobs_arg $ sched_arg $ out_dir_arg
-      $ emit_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
+      const run $ verbose_arg $ quick_arg $ jobs_arg $ sched_arg $ ff_arg
+      $ out_dir_arg $ emit_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
 
 let all_cmd =
-  let run quick jobs sched out_dir emit cache_dir no_cache =
+  let run quick jobs sched ff out_dir emit cache_dir no_cache =
     apply_sched sched;
+    apply_ff ff;
     let cache = open_cache ~cache_dir ~no_cache in
     Engine.Pool.with_pool ~jobs (fun pool ->
         (match out_dir with
@@ -189,8 +214,8 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in figure order")
     Term.(
-      const run $ quick_arg $ jobs_arg $ sched_arg $ out_dir_arg $ emit_arg
-      $ cache_dir_arg $ no_cache_arg)
+      const run $ quick_arg $ jobs_arg $ sched_arg $ ff_arg $ out_dir_arg
+      $ emit_arg $ cache_dir_arg $ no_cache_arg)
 
 (* [cache stats]/[cache clear] operate on the directory directly (no
    cache handle): they must work for caches written by other binaries. *)
@@ -309,8 +334,9 @@ let compete_cmd =
       value & opt float 4.
       & info [ "period" ] ~doc:"CBR square-wave period in seconds.")
   in
-  let run verbose a b n bandwidth period =
+  let run verbose ff a b n bandwidth period =
     setup_logs verbose;
+    apply_ff ff;
     let r =
       Slowcc.Scenarios.square_wave
         ~flows:[ (a, n); (b, n) ]
@@ -329,7 +355,7 @@ let compete_cmd =
     (Cmd.info "compete"
        ~doc:"Run two protocol groups against a square-wave CBR and compare")
     Term.(
-      const run $ verbose_arg $ proto_a $ proto_b $ n_arg $ bw_arg
+      const run $ verbose_arg $ ff_arg $ proto_a $ proto_b $ n_arg $ bw_arg
       $ period_arg)
 
 let fuzz_cmd =
@@ -353,8 +379,9 @@ let fuzz_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Write shrunk reproducers of failing scenarios under $(docv).")
   in
-  let run verbose quick jobs seeds replay out_dir =
+  let run verbose quick jobs ff seeds replay out_dir =
     setup_logs verbose;
+    apply_ff ff;
     let with_opt_pool f =
       if jobs > 1 then Engine.Pool.with_pool ~jobs (fun p -> f (Some p))
       else f None
@@ -412,8 +439,8 @@ let fuzz_cmd =
           scheduler, allocation and worker-domain axes under the audit \
           layer; failures are shrunk to minimal replayable reproducers")
     Term.(
-      const run $ verbose_arg $ quick_arg $ jobs_arg $ seeds_arg $ replay_arg
-      $ out_arg)
+      const run $ verbose_arg $ quick_arg $ jobs_arg $ ff_arg $ seeds_arg
+      $ replay_arg $ out_arg)
 
 let manyflow_cmd =
   let n_arg =

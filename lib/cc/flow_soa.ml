@@ -98,7 +98,13 @@ type t = {
      entry is scheduled and the old one is orphaned; on fire, the
      outstanding minimum IS the firing entry (the simulator pops in
      (time, seq) order), and it is live iff it equals the wheel min. *)
-  wheel : int Engine.Calendar_queue.t;
+  wheel : Rto_wheel.t;
+  (* Flows with a tracked wheel entry (slot < infinity).  Lazy
+     deadline-chasing strands orphaned entries in the wheel; when the
+     wheel grows past [2 * tracked + 64] a sweep drops every entry whose
+     time no longer matches its flow's [slot], bounding stale
+     accumulation without touching the survivors' pop order. *)
+  mutable tracked : int;
   mutable out_times : floatarray;
   mutable out_seqs : int array;
   mutable out_n : int;
@@ -171,6 +177,16 @@ let transmit t i ~seq =
 
 let cancel_rto t i = Float.Array.set t.rto_deadline i Float.infinity
 
+(* Every [slot] write goes through here so [tracked] counts exactly the
+   flows holding a live wheel entry. *)
+let[@inline] set_slot t i v =
+  let old = Float.Array.get t.slot i in
+  if old = Float.infinity then begin
+    if v < Float.infinity then t.tracked <- t.tracked + 1
+  end
+  else if v = Float.infinity then t.tracked <- t.tracked - 1;
+  Float.Array.set t.slot i v
+
 (* Outstanding-entry min-heap: (time, seq) pairs, lexicographic. *)
 
 let out_push t time seq =
@@ -241,11 +257,18 @@ let out_drop_min t =
    earlier than the outstanding minimum's. *)
 let wheel_insert t i time =
   let seq = Engine.Sim.alloc_seq t.sim in
-  Engine.Calendar_queue.add_with_seq t.wheel ~time ~seq i;
+  Rto_wheel.add t.wheel ~time ~seq ~flow:i;
   if t.out_n = 0 || time < Float.Array.get t.out_times 0 then begin
     Engine.Sim.at_seq t.sim time ~seq t.service_fn;
     out_push t time seq
-  end
+  end;
+  (* Stale-entry bound: sweep orphans once they outnumber live entries.
+     Entries removed here would pop as no-ops (their time no longer
+     matches [slot]), so pruning them cannot change any firing; at worst
+     an outstanding [service] entry finds a later minimum and re-arms. *)
+  if Rto_wheel.size t.wheel > (2 * t.tracked) + 64 then
+    Rto_wheel.filter t.wheel ~keep:(fun ~flow ~time ->
+        Float.Array.get t.slot flow = time)
 
 (* Arm flow [i]'s RTO at absolute [time].  Like the lazy [Sim.timer],
    each flow keeps at most one tracked wheel entry ([slot]); arming
@@ -255,7 +278,7 @@ let wheel_insert t i time =
 let arm_rto t i time =
   Float.Array.set t.rto_deadline i time;
   if Float.Array.get t.slot i > time then begin
-    Float.Array.set t.slot i time;
+    set_slot t i time;
     wheel_insert t i time
   end
 
@@ -291,9 +314,9 @@ let on_rto t i =
    before it, that entry covers the wheel min (it fires first, no-ops if
    stale, and re-ensures). *)
 let ensure_service t =
-  if not (Engine.Calendar_queue.is_empty t.wheel) then begin
-    let tm = Engine.Calendar_queue.min_time t.wheel in
-    let sm = Engine.Calendar_queue.min_seq t.wheel in
+  if not (Rto_wheel.is_empty t.wheel) then begin
+    let tm = Rto_wheel.min_time t.wheel in
+    let sm = Rto_wheel.min_seq t.wheel in
     if
       t.out_n = 0
       || tm < Float.Array.get t.out_times 0
@@ -317,20 +340,20 @@ let service t =
   let tf = Float.Array.get t.out_times 0 in
   let sf = t.out_seqs.(0) in
   out_drop_min t;
-  (if not (Engine.Calendar_queue.is_empty t.wheel) then begin
-     let tm = Engine.Calendar_queue.min_time t.wheel in
-     let sm = Engine.Calendar_queue.min_seq t.wheel in
+  (if not (Rto_wheel.is_empty t.wheel) then begin
+     let tm = Rto_wheel.min_time t.wheel in
+     let sm = Rto_wheel.min_seq t.wheel in
      if tm = tf && sm = sf then begin
-       let i = Engine.Calendar_queue.take t.wheel in
+       let i = Rto_wheel.take t.wheel in
        if Float.Array.get t.slot i = tf then begin
-         Float.Array.set t.slot i Float.infinity;
+         set_slot t i Float.infinity;
          let d = Float.Array.get t.rto_deadline i in
          if d = tf then begin
            Float.Array.set t.rto_deadline i Float.infinity;
            on_rto t i
          end
          else if d < Float.infinity then begin
-           Float.Array.set t.slot i d;
+           set_slot t i d;
            wheel_insert t i d
          end
        end
@@ -547,6 +570,8 @@ let handle_data t (pkt : Netsim.Packet.t) =
 
 let create ~sim ~src ~dst ~base ~n cfg =
   if n < 1 then invalid_arg "Flow_soa.create: n >= 1 required";
+  if n > Rto_wheel.max_flows then
+    invalid_arg "Flow_soa.create: n exceeds Rto_wheel.max_flows";
   if base < 0 then invalid_arg "Flow_soa.create: base >= 0 required";
   if cfg.initial_window < 1. then invalid_arg "Flow_soa: initial_window";
   let ssthresh0 =
@@ -584,7 +609,8 @@ let create ~sim ~src ~dst ~base ~n cfg =
       rcv_pkts = Array.make n 0;
       ooo1 = Array.make n (-1);
       ooo_more = Hashtbl.create 16;
-      wheel = Engine.Calendar_queue.create ();
+      wheel = Rto_wheel.create ();
+      tracked = 0;
       out_times = Float.Array.make 8 0.;
       out_seqs = Array.make 8 0;
       out_n = 0;
@@ -642,6 +668,51 @@ let stats t i =
     stat_srtt = Float.Array.get t.srtt i;
   }
 
+(* --- wheel introspection (tests) -------------------------------------- *)
+
+let wheel_size t = Rto_wheel.size t.wheel
+let wheel_tracked t = t.tracked
+
+(* --- state snapshot ----------------------------------------------------
+   Same slice of sender state as [Window_cc.export_state]/[import_state]
+   (the fast-forward re-seed contract), so hybrid-engine code and tests
+   can move a flow between the two engines' representations. *)
+
+let export_state t i =
+  {
+    Window_cc.s_cwnd = Float.Array.get t.cwnd i;
+    s_ssthresh = Float.Array.get t.ssthresh i;
+    s_snd_una = t.snd_una.(i);
+    s_snd_nxt = t.snd_nxt.(i);
+    s_high_water = t.high_water.(i);
+    s_srtt = Float.Array.get t.srtt i;
+    s_rttvar = Float.Array.get t.rttvar i;
+    s_rtt_valid = get_flag t i f_rttvalid;
+    s_backoff = backoff t i;
+  }
+
+let import_state t i (s : Window_cc.state) =
+  Float.Array.set t.cwnd i s.Window_cc.s_cwnd;
+  Float.Array.set t.ssthresh i s.s_ssthresh;
+  t.snd_una.(i) <- s.s_snd_una;
+  t.snd_nxt.(i) <- s.s_snd_nxt;
+  t.high_water.(i) <- s.s_high_water;
+  Float.Array.set t.srtt i s.s_srtt;
+  Float.Array.set t.rttvar i s.s_rttvar;
+  set_flag t i f_rttvalid s.s_rtt_valid;
+  (let e = ref 0 in
+   while !e < 6 && float_of_int (1 lsl !e) < s.s_backoff do
+     incr e
+   done;
+   set_backoff_exp t i !e);
+  (* Transient loss-recovery machinery is cleared, as in Window_cc. *)
+  set_flag t i f_recovery false;
+  set_flag t i f_partial false;
+  set_dupacks t i 0;
+  t.recover.(i) <- s.s_snd_una - 1;
+  t.probe_seq.(i) <- -1;
+  Float.Array.set t.no_fastrtx_until i 0.
+
 let flow t i =
   {
     Flow.id = flow_id t i;
@@ -659,4 +730,7 @@ let flow t i =
         else 0.);
     srtt = (fun () -> Float.Array.get t.srtt i);
     stats = (fun () -> stats t i);
+    (* SoA flows are driven in bulk by [ff_advance]/[export_state]; the
+       per-flow closure interface stays fluid-free. *)
+    ff = None;
   }

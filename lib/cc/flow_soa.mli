@@ -78,3 +78,25 @@ val stats : t -> int -> Flow.stats
 (** Closure view of flow index [i], for code that consumes {!Flow.t}
     (tracing, digests).  Allocates; not for per-packet use. *)
 val flow : t -> int -> Flow.t
+
+(** {2 State snapshots}
+
+    The same sender-state slice as {!Window_cc.export_state} — the
+    fast-forward re-seed contract — so flows can be moved between the
+    per-object and struct-of-arrays representations. *)
+
+val export_state : t -> int -> Window_cc.state
+
+(** Restore a snapshot into flow index [i]; transient loss-recovery
+    machinery (dupacks, recovery mode, RTT probe) is cleared. *)
+val import_state : t -> int -> Window_cc.state -> unit
+
+(** {2 RTO-wheel introspection} (tests / instrumentation)
+
+    The consolidated wheel lazily re-arms timers, stranding stale
+    entries; a sweep bounds the total at [2 * tracked + 64] where
+    [tracked] is the number of flows holding a live entry. *)
+
+val wheel_size : t -> int
+
+val wheel_tracked : t -> int

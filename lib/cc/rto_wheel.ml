@@ -1,0 +1,319 @@
+(* Calendar wheel specialized to the consolidated RTO timer.
+
+   [Engine.Calendar_queue] is generic: four parallel pool arrays
+   ([times]/[seqs]/[vals]/[nexts]) at 32 bytes per node, with the
+   payload behind an [Obj.t].  The RTO wheel's payload is just a flow
+   index, and its seqs are burned from the *simulator's* insertion
+   counter, so both fit one word: [packed = seq lsl flow_bits lor flow].
+   That shrinks a node to three arrays — [times]/[packed]/[nexts],
+   24 bytes — and drops the [Obj] indirection from every comparison.
+
+   Ordering is still lexicographic on (time, seq): simulator seqs are
+   unique, so at equal times comparing the packed words directly is
+   equivalent to comparing seqs (the flow bits only break ties between
+   identical seqs, which cannot occur).  Bucketing, width estimation,
+   resize hysteresis, and the Audit FIFO check are the same as
+   [Calendar_queue] — any divergence would reorder timer pops and break
+   the SoA engine's digest equivalence with the per-object engine.
+
+   [filter] exists for the stale-entry bound: lazy deadline-chasing
+   leaves orphaned entries behind, and a caller that tracks its live
+   count can sweep them without touching pop order of the survivors. *)
+
+let flow_bits = 20
+let max_flows = 1 lsl flow_bits
+let flow_mask = max_flows - 1
+
+type t = {
+  (* node pool: 3 parallel arrays, 24 B/node *)
+  mutable times : float array;
+  mutable packed : int array;  (* seq lsl flow_bits lor flow *)
+  mutable nexts : int array;
+  mutable free : int;  (* free-list head, -1 when the pool is full *)
+  (* calendar *)
+  mutable buckets : int array;  (* per-bucket list head, -1 when empty *)
+  mutable mask : int;  (* nbuckets - 1; nbuckets is a power of two *)
+  mutable width : float;  (* seconds covered by one bucket *)
+  mutable cur : int;  (* absolute bucket number of the search cursor *)
+  mutable size : int;
+  (* Last (time, packed) handed out by [take]; only touched under
+     [Audit.invariants_on] to assert (time, insertion-order) pop order. *)
+  mutable last_pop_time : float;
+  mutable last_pop_packed : int;
+}
+
+let initial_nodes = 256
+let initial_buckets = 8
+let min_buckets = 8
+
+let create () =
+  {
+    times = [||];
+    packed = [||];
+    nexts = [||];
+    free = -1;
+    buckets = Array.make initial_buckets (-1);
+    mask = initial_buckets - 1;
+    width = 0.01;
+    cur = 0;
+    size = 0;
+    last_pop_time = Float.neg_infinity;
+    last_pop_packed = -1;
+  }
+
+let is_empty t = t.size = 0
+let size t = t.size
+let buckets t = t.mask + 1
+
+let grow_pool t =
+  let cap = Array.length t.times in
+  let new_cap = if cap = 0 then initial_nodes else cap * 2 in
+  let times = Array.make new_cap 0. in
+  let packed = Array.make new_cap 0 in
+  let nexts = Array.make new_cap (-1) in
+  Array.blit t.times 0 times 0 cap;
+  Array.blit t.packed 0 packed 0 cap;
+  Array.blit t.nexts 0 nexts 0 cap;
+  for i = cap to new_cap - 2 do
+    nexts.(i) <- i + 1
+  done;
+  nexts.(new_cap - 1) <- t.free;
+  t.free <- cap;
+  t.times <- times;
+  t.packed <- packed;
+  t.nexts <- nexts
+
+let[@inline] bucket_number t time = int_of_float (time /. t.width)
+
+(* Insert node [n] (fields already set) into its bucket's sorted list;
+   sort key is (time, packed), which equals (time, seq). *)
+let insert_node t n =
+  let time = Array.unsafe_get t.times n in
+  let pk = Array.unsafe_get t.packed n in
+  let bn = bucket_number t time in
+  if bn < t.cur then t.cur <- bn;
+  let b = bn land t.mask in
+  let head = Array.unsafe_get t.buckets b in
+  if
+    head < 0
+    || time < Array.unsafe_get t.times head
+    || (time = Array.unsafe_get t.times head
+        && pk < Array.unsafe_get t.packed head)
+  then begin
+    Array.unsafe_set t.nexts n head;
+    Array.unsafe_set t.buckets b n
+  end
+  else begin
+    let prev = ref head in
+    let continue_ = ref true in
+    while !continue_ do
+      let nx = Array.unsafe_get t.nexts !prev in
+      if nx < 0 then continue_ := false
+      else begin
+        let tx = Array.unsafe_get t.times nx in
+        if tx < time || (tx = time && Array.unsafe_get t.packed nx < pk) then
+          prev := nx
+        else continue_ := false
+      end
+    done;
+    Array.unsafe_set t.nexts n (Array.unsafe_get t.nexts !prev);
+    Array.unsafe_set t.nexts !prev n
+  end
+
+(* Same width heuristic as [Calendar_queue.estimate_width]. *)
+let estimate_width t live =
+  let n = Array.length live in
+  if n < 2 then t.width
+  else begin
+    Array.sort Float.compare live;
+    let k = min n 32 in
+    let front = live.(k - 1) -. live.(0) in
+    let gap =
+      if front > 0. then front /. float_of_int (k - 1)
+      else begin
+        let range = live.(n - 1) -. live.(0) in
+        if range > 0. then range /. float_of_int n else 0.
+      end
+    in
+    if gap > 0. then Float.max 1e-12 (3. *. gap) else t.width
+  end
+
+let resize t nb =
+  let live = Array.make t.size 0. in
+  let nodes = Array.make t.size 0 in
+  let j = ref 0 in
+  Array.iter
+    (fun head ->
+      let n = ref head in
+      while !n >= 0 do
+        live.(!j) <- Array.unsafe_get t.times !n;
+        nodes.(!j) <- !n;
+        incr j;
+        n := Array.unsafe_get t.nexts !n
+      done)
+    t.buckets;
+  t.width <- estimate_width t live;
+  t.buckets <- Array.make nb (-1);
+  t.mask <- nb - 1;
+  t.cur <- (if t.size = 0 then 0 else bucket_number t live.(0));
+  Array.iter (fun n -> insert_node t n) nodes
+
+let add t ~time ~seq ~flow =
+  if not (Float.is_finite time) || time < 0. then
+    invalid_arg "Rto_wheel.add: time must be finite and non-negative";
+  if seq < 0 then invalid_arg "Rto_wheel.add: negative seq";
+  if flow < 0 || flow >= max_flows then
+    invalid_arg "Rto_wheel.add: flow out of range";
+  if t.free < 0 then grow_pool t;
+  let n = t.free in
+  t.free <- Array.unsafe_get t.nexts n;
+  Array.unsafe_set t.times n time;
+  Array.unsafe_set t.packed n ((seq lsl flow_bits) lor flow);
+  insert_node t n;
+  t.size <- t.size + 1;
+  if t.size > 2 * (t.mask + 1) then resize t (2 * (t.mask + 1))
+
+let direct_search t =
+  let nb = t.mask + 1 in
+  let best_b = ref (-1) in
+  let best_n = ref (-1) in
+  for b = 0 to nb - 1 do
+    let h = Array.unsafe_get t.buckets b in
+    if
+      h >= 0
+      && (!best_n < 0
+         || Array.unsafe_get t.times h < Array.unsafe_get t.times !best_n
+         || (Array.unsafe_get t.times h = Array.unsafe_get t.times !best_n
+             && Array.unsafe_get t.packed h < Array.unsafe_get t.packed !best_n
+            ))
+    then begin
+      best_b := b;
+      best_n := h
+    end
+  done;
+  t.cur <- bucket_number t (Array.unsafe_get t.times !best_n);
+  !best_b
+
+let find_min_bucket t =
+  let nb = t.mask + 1 in
+  let c = ref t.cur in
+  let k = ref 0 in
+  let found = ref (-1) in
+  while !found < 0 && !k < nb do
+    let b = !c land t.mask in
+    let h = Array.unsafe_get t.buckets b in
+    if h >= 0 && Array.unsafe_get t.times h /. t.width < float_of_int (!c + 1)
+    then begin
+      t.cur <- !c;
+      found := b
+    end
+    else begin
+      incr c;
+      incr k
+    end
+  done;
+  if !found >= 0 then !found else direct_search t
+
+let remove_head t b =
+  let n = Array.unsafe_get t.buckets b in
+  Array.unsafe_set t.buckets b (Array.unsafe_get t.nexts n);
+  Array.unsafe_set t.nexts n t.free;
+  t.free <- n;
+  t.size <- t.size - 1;
+  let pk = Array.unsafe_get t.packed n in
+  let nb = t.mask + 1 in
+  if nb > min_buckets && t.size < nb / 4 then resize t (nb / 2);
+  pk
+
+let take t =
+  if t.size = 0 then invalid_arg "Rto_wheel.take: empty queue";
+  let b = find_min_bucket t in
+  if Engine.Audit.invariants_on () then begin
+    let n = Array.unsafe_get t.buckets b in
+    let time = Array.unsafe_get t.times n
+    and pk = Array.unsafe_get t.packed n in
+    if
+      time < t.last_pop_time
+      || (time = t.last_pop_time && pk < t.last_pop_packed)
+    then
+      Engine.Audit.fail
+        "Rto_wheel.take: popped (t=%.17g, seq=%d) after (t=%.17g, seq=%d) — \
+         FIFO order at equal timestamps broken"
+        time (pk lsr flow_bits) t.last_pop_time
+        (t.last_pop_packed lsr flow_bits);
+    t.last_pop_time <- time;
+    t.last_pop_packed <- pk
+  end;
+  remove_head t b land flow_mask
+
+let[@inline] min_time t =
+  if t.size = 0 then Float.nan
+  else begin
+    let b = find_min_bucket t in
+    Array.unsafe_get t.times (Array.unsafe_get t.buckets b)
+  end
+
+let min_seq t =
+  if t.size = 0 then invalid_arg "Rto_wheel.min_seq: empty queue"
+  else begin
+    let b = find_min_bucket t in
+    Array.unsafe_get t.packed (Array.unsafe_get t.buckets b) lsr flow_bits
+  end
+
+(* Drop every entry for which [keep ~flow ~time] is false, in one O(size)
+   rebuild.  Survivors keep their (time, seq) keys, so relative pop order
+   is untouched; the minimum can only move later, which lazy service
+   entries already tolerate.  Does not reset the Audit pop watermark —
+   sweeps remove only entries that would have popped as no-ops. *)
+let filter t ~keep =
+  let live = Array.make t.size 0. in
+  let nodes = Array.make t.size 0 in
+  let kept = ref 0 in
+  Array.iter
+    (fun head ->
+      let n = ref head in
+      while !n >= 0 do
+        let nx = Array.unsafe_get t.nexts !n in
+        let time = Array.unsafe_get t.times !n in
+        if keep ~flow:(Array.unsafe_get t.packed !n land flow_mask) ~time
+        then begin
+          live.(!kept) <- time;
+          nodes.(!kept) <- !n;
+          incr kept
+        end
+        else begin
+          Array.unsafe_set t.nexts !n t.free;
+          t.free <- !n
+        end;
+        n := nx
+      done)
+    t.buckets;
+  t.size <- !kept;
+  (* Re-bucket the survivors with a width fitted to what remains, sized
+     by the same 2x growth threshold [add] uses. *)
+  let nb = ref initial_buckets in
+  while t.size > 2 * !nb do
+    nb := 2 * !nb
+  done;
+  let live = Array.sub live 0 !kept in
+  t.width <- estimate_width t live;
+  t.buckets <- Array.make !nb (-1);
+  t.mask <- !nb - 1;
+  Array.sort Float.compare live;
+  t.cur <- (if t.size = 0 then 0 else bucket_number t live.(0));
+  for j = 0 to !kept - 1 do
+    insert_node t nodes.(j)
+  done
+
+let clear t =
+  let cap = Array.length t.nexts in
+  for i = 0 to cap - 2 do
+    t.nexts.(i) <- i + 1
+  done;
+  if cap > 0 then t.nexts.(cap - 1) <- -1;
+  t.free <- (if cap > 0 then 0 else -1);
+  Array.fill t.buckets 0 (Array.length t.buckets) (-1);
+  t.size <- 0;
+  t.cur <- 0;
+  t.last_pop_time <- Float.neg_infinity;
+  t.last_pop_packed <- -1

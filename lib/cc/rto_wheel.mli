@@ -1,0 +1,52 @@
+(** Calendar wheel specialized to the consolidated RTO timer.
+
+    A clone of {!Engine.Calendar_queue} whose payload (a flow index) and
+    insertion seq share one word — [packed = seq lsl flow_bits lor flow]
+    — so a pooled node is three parallel array slots (24 bytes) instead
+    of four (32 bytes).  Ordering, bucketing, width estimation, and
+    resize hysteresis are identical: simulator seqs are unique, so
+    comparing packed words at equal times is exactly the (time, seq)
+    order the per-object engine's timers pop in.
+
+    [filter] supports the stale-entry bound: a caller that lazily
+    re-arms timers (leaving orphaned entries behind) can sweep entries
+    that no longer match its tracked deadline without perturbing the
+    pop order of the survivors. *)
+
+type t
+
+(** Bits reserved for the flow index in the packed word. *)
+val flow_bits : int
+
+(** Exclusive upper bound on flow indexes: [1 lsl flow_bits]. *)
+val max_flows : int
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+
+(** Number of buckets currently in the ring (introspection / tests). *)
+val buckets : t -> int
+
+(** Insert an entry.  [seq] must come from the simulator's insertion
+    counter ({!Engine.Sim.alloc_seq}); [flow] must be in
+    [0 .. max_flows - 1].
+    @raise Invalid_argument on a non-finite or negative time, a negative
+    seq, or an out-of-range flow. *)
+val add : t -> time:float -> seq:int -> flow:int -> unit
+
+(** Earliest entry's time; NaN if empty (callers check {!is_empty}). *)
+val min_time : t -> float
+
+(** Earliest entry's seq. @raise Invalid_argument when empty. *)
+val min_seq : t -> int
+
+(** Remove the earliest entry and return its flow index.
+    @raise Invalid_argument when empty. *)
+val take : t -> int
+
+(** Keep only entries satisfying [keep ~flow ~time]; O(size) rebuild.
+    Survivors retain their (time, seq) keys and relative order. *)
+val filter : t -> keep:(flow:int -> time:float -> bool) -> unit
+
+val clear : t -> unit

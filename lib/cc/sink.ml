@@ -119,3 +119,21 @@ let attach ?(ack_size = 40) ?(sack = true) ?(delayed_acks = false)
 let bytes_received t = float_of_int t.bytes
 let pkts_received t = t.pkts
 let cumulative t = t.next_expected
+
+(* Fluid fast-forward support: [ff_credit] folds packets carried by the
+   fluid model into the delivery counters (no acks are generated — the
+   frozen sender would ignore them); [fast_forward] jumps the receive
+   frontier to [next_expected] on thaw so the resumed sender's first
+   packet at its new frontier looks in-order.  The out-of-order buffer is
+   dropped: anything buffered predates the jump. *)
+let ff_credit t ~pkts ~pkt_size =
+  if pkts < 0 then invalid_arg "Sink.ff_credit: negative credit";
+  t.bytes <- t.bytes + (pkts * pkt_size);
+  t.pkts <- t.pkts + pkts
+
+let fast_forward t ~next_expected =
+  if next_expected < t.next_expected then
+    invalid_arg "Sink.fast_forward: frontier moves forward only";
+  t.next_expected <- next_expected;
+  t.out_of_order <- IntSet.empty;
+  t.unacked_pkts <- 0

@@ -42,3 +42,17 @@ val pkts_received : t -> int
 
 (** Lowest sequence number not yet received. *)
 val cumulative : t -> int
+
+(** {2 Fluid fast-forward hooks}
+
+    Used by the hybrid fluid/packet engine while the peer sender is
+    frozen; never called in pure packet mode. *)
+
+(** Fold [pkts] fluid-model packets of [pkt_size] bytes into the delivery
+    counters without generating acks. *)
+val ff_credit : t -> pkts:int -> pkt_size:int -> unit
+
+(** Jump the receive frontier forward to [next_expected] (dropping the
+    out-of-order buffer) so the resumed sender's new frontier is
+    in-order.  Raises [Invalid_argument] on a backwards jump. *)
+val fast_forward : t -> next_expected:int -> unit

@@ -29,6 +29,45 @@ let binomial ~k ~l ~a ~b =
     decrease = (fun w -> w -. (b *. (w ** l)));
   }
 
+(* Deterministic steady-state sawtooth of [rule] at loss-event rate [p]:
+   one loss event every 1/p packets.  A cycle starts at w0 = decrease(W),
+   grows by increase(w) per RTT (the amount grow_window's per-ack
+   increments sum to over one window of acks), and ends at peak W once
+   the cycle has carried 1/p packets.  The peak is the fixed point of
+   that map; iterate it.  For AIMD(1, 1/2) this reproduces the classic
+   sqrt(3/(2p)) packets-per-RTT average (Analysis.Response_function's
+   [pure_aimd]); for the binomial rules it is the paper's generalized
+   sawtooth.  Returns (average packets per RTT, peak window), or [None]
+   when [p] gives no finite cycle. *)
+let sawtooth_model ~rule ~max_window ~p =
+  if (not (Float.is_finite p)) || p <= 0. || p >= 1. then None
+  else begin
+    let target = 1. /. p in
+    let cycle w_peak =
+      let w = ref (Float.max 1. (rule.decrease w_peak)) in
+      let pkts = ref 0. and rtts = ref 0 in
+      while !pkts < target && !rtts < 1_000_000 do
+        pkts := !pkts +. !w;
+        incr rtts;
+        w := Float.min max_window (!w +. Float.max 0. (rule.increase !w))
+      done;
+      (!w, !pkts, !rtts)
+    in
+    let w = ref 10. in
+    (try
+       for _ = 1 to 64 do
+         let w', _, _ = cycle !w in
+         if Float.abs (w' -. !w) <= 1e-9 *. Float.max 1. !w then begin
+           w := w';
+           raise Exit
+         end;
+         w := w'
+       done
+     with Exit -> ());
+    let w_peak, pkts, rtts = cycle !w in
+    if rtts = 0 then None else Some (pkts /. float_of_int rtts, w_peak)
+  end
+
 type variant = Reno | Tahoe
 
 module IntSet = Set.Make (Int)
@@ -109,6 +148,9 @@ type t = {
   mutable n_timeouts : int;
   mutable n_fast_rtx : int;
   mutable n_rtx_pkts : int;
+  (* --- fluid fast-forward --- *)
+  mutable ff_suspended : bool;
+  mutable ff_delivered : int;  (* fluid pkts credited since suspend *)
 }
 
 (* Reno-style inflation: each dupack during fast recovery signals a packet
@@ -427,6 +469,8 @@ let create ~sim ~src ~dst ~flow cfg =
       n_timeouts = 0;
       n_fast_rtx = 0;
       n_rtx_pkts = 0;
+      ff_suspended = false;
+      ff_delivered = 0;
     }
   in
   t.rto_timer <- Engine.Sim.timer sim (fun () -> on_rto t);
@@ -442,6 +486,142 @@ let start t =
 let stop t =
   t.running <- false;
   cancel_rto t
+
+(* --- fluid fast-forward ------------------------------------------------ *)
+
+(* Freeze the sender.  In-flight data drains to the sink (whose acks the
+   non-running sender ignores and releases); the RTO must not fire while
+   frozen.  Idempotent; a no-op unless the flow is actively running. *)
+let ff_suspend t =
+  if t.running && not t.ff_suspended then begin
+    t.ff_suspended <- true;
+    t.running <- false;
+    cancel_rto t;
+    t.rtt_probe <- None
+  end
+
+(* Fold fluid-model packets into the counters: [sent] offered to the
+   path, [delivered] of them carried to the sink.  The seq frontier moves
+   at resume, in one jump. *)
+let ff_credit t ~sent ~delivered =
+  if t.ff_suspended && sent >= 0 && delivered >= 0 then begin
+    t.pkts_sent <- t.pkts_sent + sent;
+    t.bytes_sent <- t.bytes_sent + (sent * t.cfg.pkt_size);
+    t.ff_delivered <- t.ff_delivered + delivered;
+    Sink.ff_credit t.sink ~pkts:delivered ~pkt_size:t.cfg.pkt_size
+  end
+
+(* Analytic steady-state rate at loss-event rate [p], packets/s: the
+   rule's sawtooth average over the flow's measured RTT.  0 until an RTT
+   sample exists (the controller will not credit such a flow). *)
+let ff_rate_pps t ~p =
+  if t.rtt_valid && t.srtt > 0. then
+    match sawtooth_model ~rule:t.cfg.rule ~max_window:t.cfg.max_window ~p with
+    | Some (pkts_per_rtt, _) -> pkts_per_rtt /. t.srtt
+    | None -> t.cwnd /. t.srtt  (* p = 0: keep the current window's rate *)
+  else 0.
+
+(* Thaw: re-seed exact packet-level state consistent with steady state at
+   loss-event rate [p] and resume transmission.  The re-seed contract:
+   the window is set to the sawtooth average (ssthresh to the
+   post-decrease peak, as if a loss event had just ended a cycle); the
+   seq/ack frontier jumps past everything ever transmitted plus the
+   credited fluid packets, and the sink's receive frontier jumps with it,
+   so the resumed exchange is hole-free; all loss-recovery machinery is
+   cleared.  The bottleneck queue refills within the first RTT of
+   resumed packet traffic. *)
+let ff_resume t ~p =
+  if t.ff_suspended then begin
+    t.ff_suspended <- false;
+    (match sawtooth_model ~rule:t.cfg.rule ~max_window:t.cfg.max_window ~p with
+    | Some (avg, peak) when t.rtt_valid ->
+      t.cwnd <- Float.min t.cfg.max_window (Float.max 1. avg);
+      t.ssthresh <- Float.max 2. (t.cfg.rule.decrease peak)
+    | Some _ | None -> ());
+    let s = max t.high_water (Sink.cumulative t.sink) + t.ff_delivered in
+    t.ff_delivered <- 0;
+    t.snd_una <- s;
+    t.snd_nxt <- s;
+    t.high_water <- s;
+    t.dupacks <- 0;
+    t.in_recovery <- false;
+    t.recover <- s - 1;
+    t.first_partial_done <- false;
+    t.sacked <- IntSet.empty;
+    t.hole_rtx <- IntSet.empty;
+    t.rtt_probe <- None;
+    t.backoff <- 1.;
+    t.ecn_guard <- s - 1;
+    Sink.fast_forward t.sink ~next_expected:s;
+    if not t.finished then begin
+      t.running <- true;
+      try_send t
+    end
+  end
+
+(* Short transfers have a completion point the fluid model would blow
+   through; only long-lived flows publish fast-forward hooks. *)
+let ff_ops t =
+  if t.cfg.total_pkts <> None then None
+  else
+    Some
+      {
+        Flow.ff_pkt_size = t.cfg.pkt_size;
+        ff_rate_pps = (fun ~p -> ff_rate_pps t ~p);
+        ff_suspend = (fun () -> ff_suspend t);
+        ff_credit = (fun ~sent ~delivered -> ff_credit t ~sent ~delivered);
+        ff_resume = (fun ~p -> ff_resume t ~p);
+      }
+
+(* --- state export/import ----------------------------------------------- *)
+
+(* The slice of sender state the fast-forward re-seed contract covers;
+   shared with [Flow_soa] so hybrid tests can compare the two engines
+   field by field. *)
+type state = {
+  s_cwnd : float;
+  s_ssthresh : float;
+  s_snd_una : int;
+  s_snd_nxt : int;
+  s_high_water : int;
+  s_srtt : float;
+  s_rttvar : float;
+  s_rtt_valid : bool;
+  s_backoff : float;
+}
+
+let export_state t =
+  {
+    s_cwnd = t.cwnd;
+    s_ssthresh = t.ssthresh;
+    s_snd_una = t.snd_una;
+    s_snd_nxt = t.snd_nxt;
+    s_high_water = t.high_water;
+    s_srtt = t.srtt;
+    s_rttvar = t.rttvar;
+    s_rtt_valid = t.rtt_valid;
+    s_backoff = t.backoff;
+  }
+
+(* Import clears the transient loss-recovery machinery: an imported
+   state is by definition between recovery episodes. *)
+let import_state t s =
+  t.cwnd <- s.s_cwnd;
+  t.ssthresh <- s.s_ssthresh;
+  t.snd_una <- s.s_snd_una;
+  t.snd_nxt <- s.s_snd_nxt;
+  t.high_water <- s.s_high_water;
+  t.srtt <- s.s_srtt;
+  t.rttvar <- s.s_rttvar;
+  t.rtt_valid <- s.s_rtt_valid;
+  t.backoff <- s.s_backoff;
+  t.dupacks <- 0;
+  t.in_recovery <- false;
+  t.recover <- s.s_snd_una - 1;
+  t.first_partial_done <- false;
+  t.sacked <- IntSet.empty;
+  t.hole_rtx <- IntSet.empty;
+  t.rtt_probe <- None
 
 let flow t =
   {
@@ -469,6 +649,7 @@ let flow t =
           fast_rtx = t.n_fast_rtx;
           stat_srtt = t.srtt;
         });
+    ff = ff_ops t;
   }
 
 let cwnd t = t.cwnd

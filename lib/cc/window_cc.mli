@@ -68,6 +68,51 @@ val create :
 
 val flow : t -> Flow.t
 
+(** {2 Fluid fast-forward}
+
+    Exposed so the hybrid engine's controller (and tests) can drive a
+    sender directly; [flow] publishes the same hooks as {!Flow.ff_ops}
+    for long-lived flows. *)
+
+(** Steady-state sawtooth of [rule] at loss-event rate [p]: one loss
+    event per [1/p] packets, per-RTT growth of [increase w].  Returns
+    [(average packets per RTT, peak window)], or [None] for [p <= 0] or
+    [p >= 1].  AIMD(1, 1/2) reproduces [sqrt(3/(2p))]. *)
+val sawtooth_model :
+  rule:rule -> max_window:float -> p:float -> (float * float) option
+
+(** Freeze the sender (idempotent; no-op unless running). *)
+val ff_suspend : t -> unit
+
+(** Fold fluid-model packets into counters while suspended. *)
+val ff_credit : t -> sent:int -> delivered:int -> unit
+
+(** Analytic sawtooth rate at loss rate [p] over the measured RTT,
+    packets/s; 0 until an RTT sample exists. *)
+val ff_rate_pps : t -> p:float -> float
+
+(** Re-seed exact packet state for steady state at loss rate [p] and
+    resume (see the re-seed contract in DESIGN §11). *)
+val ff_resume : t -> p:float -> unit
+
+(** Sender-state snapshot: the slice the re-seed contract covers. *)
+type state = {
+  s_cwnd : float;
+  s_ssthresh : float;
+  s_snd_una : int;
+  s_snd_nxt : int;
+  s_high_water : int;
+  s_srtt : float;
+  s_rttvar : float;
+  s_rtt_valid : bool;
+  s_backoff : float;
+}
+
+val export_state : t -> state
+
+(** Restore a snapshot; transient loss-recovery machinery is cleared. *)
+val import_state : t -> state -> unit
+
 (** Introspection for tests and instrumentation. *)
 val cwnd : t -> float
 

@@ -1120,6 +1120,18 @@ let params_one ?(quick = false) name =
   let open Engine.Json in
   let floats xs = List (List.map (fun v -> Float v) xs) in
   let bw v = ("bandwidth_bps", Float v) in
+  (* Hybrid fast-forward produces approximate (fluid-advanced) results,
+     so the mode is part of what was computed: it joins the digested
+     params — and through them the cache key — whenever it is ON.  It is
+     deliberately ABSENT when off, keeping ff-off manifests and cache
+     entries byte-identical with builds that predate the feature. *)
+  let with_ff base =
+    match Engine.Fastforward.get_default () with
+    | Engine.Fastforward.Off -> base
+    | Engine.Fastforward.On -> base @ [ ("fastforward", String "on") ]
+  in
+  with_ff
+  @@
   match name with
   | "fig3" -> [ bw bw_restart ]
   | "fig4" | "fig5" -> [ bw bw_restart; ("gammas", floats (gamma_sweep quick)) ]

@@ -1,0 +1,92 @@
+(** Hybrid fluid/packet fast-forward controller.
+
+    The policy half of {!Engine.Fastforward}: a periodic sampler feeds
+    the steady-state detector with the watched link's loss rate and
+    queue occupancy; when the window is stable and no scheduled
+    transient is near, every attached flow is frozen at the packet
+    level and advanced analytically (AIMD sawtooth average, the TFRC
+    equation, or the configured CBR rate — {!Cc.Flow.ff_ops}), with a
+    thaw scheduled strictly [guard] seconds before the next transient
+    or at the [max_span] re-check horizon.  On thaw each flow re-seeds
+    exact packet state and packet-level simulation resumes (the re-seed
+    contract in DESIGN §11).
+
+    Analytic rates set only the flows' relative shares; the measured
+    aggregate delivered rate over the detector window sets the total,
+    and drops are credited so loss probes read a consistent loss rate
+    across the freeze. *)
+
+type config = {
+  sample_dt : float;  (** detector sampling / credit-materialization period *)
+  detector : Engine.Fastforward.Detector.config;
+  guard : float;  (** thaw this many seconds before a transient *)
+  min_span : float;  (** do not arm for freezes shorter than this *)
+  max_span : float;  (** re-check horizon when no transient is scheduled *)
+  model_tol : float;
+      (** arm only when the measured aggregate rate is within this
+          relative tolerance of the analytic models' prediction at the
+          measured loss rate — the gate that keeps young flows
+          (slow-start overshoot, sawtooths longer than the detector
+          window) from being frozen at unrepresentative rates *)
+}
+
+(** 0.25 s sampling, default detector, 1 s guard, 3 s minimum span,
+    120 s horizon, 25% model tolerance. *)
+val default_config : config
+
+type event = Arm | Thaw
+
+type t
+
+(** [create ~sim ~link ~flows ~transients ()] attaches a controller to
+    [link]'s loss/occupancy signal.  [flows] traverse the link: their
+    fluid packets are credited to it and their rates are scaled to the
+    measured aggregate.  [aux] flows (e.g. reverse-path traffic) are
+    frozen with the others but advance at their own analytic rate and
+    touch only their own counters.  Flows without {!Cc.Flow.ff_ops}
+    (short transfers, senders without analytic models) are ignored and
+    keep running at packet level.  [transients] lists absolute times of
+    scheduled disturbances (CBR edges, flash-crowd arrivals); the
+    controller always thaws at least [guard] seconds before each.
+    [metrics] registers [ff.entries]/[ff.exits] counters and an
+    [ff.skipped_sim_s] gauge. *)
+val create :
+  ?config:config ->
+  ?metrics:Engine.Metrics.t ->
+  ?aux:Cc.Flow.t list ->
+  sim:Engine.Sim.t ->
+  link:Netsim.Link.t ->
+  flows:Cc.Flow.t list ->
+  transients:float list ->
+  unit ->
+  t
+
+(** [maybe_attach] is {!create} gated on {!Engine.Sim.fastforward}:
+    [None] (no controller, zero overhead) unless the simulator was
+    created with fast-forward [On].  Scenario builders call this
+    unconditionally. *)
+val maybe_attach :
+  ?config:config ->
+  ?metrics:Engine.Metrics.t ->
+  ?aux:Cc.Flow.t list ->
+  sim:Engine.Sim.t ->
+  link:Netsim.Link.t ->
+  flows:Cc.Flow.t list ->
+  transients:float list ->
+  unit ->
+  t option
+
+(** {2 Introspection} (tests / instrumentation) *)
+
+val armed : t -> bool
+
+(** Freeze entries / exits of this controller. *)
+val entries : t -> int
+
+val exits : t -> int
+
+(** Total simulated seconds spent frozen (fluid-advanced). *)
+val skipped_sim_seconds : t -> float
+
+(** Chronological (time, event) log of arms and thaws. *)
+val events : t -> (float * event) list

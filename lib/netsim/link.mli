@@ -70,6 +70,13 @@ val counters : t -> (string * int) list
 val register_metrics :
   t -> Engine.Metrics.t -> prefix:string -> unit -> unit
 
+(** Fluid fast-forward credit: fold [delivered]/[dropped] packets and
+    [bytes] output bytes carried by the fluid model (while packet-level
+    simulation was frozen) into this link's counters, preserving the
+    conservation laws of {!check_conservation}.  Creates no packets and
+    schedules no events; never called when fast-forward is off. *)
+val ff_credit : t -> delivered:int -> dropped:int -> bytes:int -> unit
+
 (** Hook invoked for every dropped packet (monitoring / tests). *)
 val on_drop : t -> (Packet.t -> unit) -> unit
 
