@@ -10,6 +10,9 @@
    dune exec bench/main.exe -- --validate   -- schema-check BENCH_engine.json *)
 
 let () =
+  (* Re-invocations of this binary as process-pool sweep workers (see
+     Perf.proc_backend_ab) are routed by env var and never parse args. *)
+  Perf.maybe_worker_child ();
   let quick = ref false and only = ref [] and perf = ref false in
   let quick_micro = ref false and validate = ref false in
   let outdir = ref "" in

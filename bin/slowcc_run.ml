@@ -3,6 +3,9 @@
    slowcc_run list                 enumerate experiment ids
    slowcc_run run fig7 [--quick]   reproduce one figure
    slowcc_run all [--quick]        reproduce everything
+   slowcc_run all --backend proc --workers 4 --cache-dir D
+                                   same sweep over worker processes
+   slowcc_run worker QUEUE_DIR     join an existing sweep as a worker
    slowcc_run compete ...          ad-hoc two-protocol fairness run *)
 
 open Cmdliner
@@ -142,6 +145,227 @@ let report_cache =
         (Slowcc.Result_cache.misses cache)
         (Slowcc.Result_cache.dir cache))
 
+(* ------------------------------------------------------------------ *)
+(* Process backend: coordinator and worker                             *)
+(* ------------------------------------------------------------------ *)
+
+let backend_conv =
+  let parse s =
+    match Engine.Pool.backend_of_string s with
+    | Some b -> Ok b
+    | None -> Error (`Msg (Printf.sprintf "unknown backend %S (domain|proc)" s))
+  in
+  let print fmt b = Format.pp_print_string fmt (Engine.Pool.backend_to_string b) in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv Engine.Pool.Domains
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Sweep execution backend: $(b,domain) (worker domains in this \
+           process, default) or $(b,proc) (worker processes coordinating \
+           through a work queue inside --cache-dir, which is required).  \
+           Output bytes are identical under either backend at any worker \
+           count.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int (Engine.Pool.default_jobs ())
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker processes for $(b,--backend proc) (default: this \
+           machine's recommended domain count).  $(b,0) spawns none: the \
+           coordinator seeds the queue, prints its path and waits for \
+           external 'slowcc_run worker' processes — the multi-machine \
+           mode.")
+
+let lease_arg =
+  Arg.(
+    value & opt float 3600.
+    & info [ "lease-s" ] ~docv:"SECONDS"
+        ~doc:
+          "Claim lease for the process backend.  A worker that dies \
+           mid-job has its claim requeued once the lease expires, so the \
+           lease must exceed the longest single unit; an expired-but-alive \
+           worker merely duplicates idempotent work.")
+
+let poll_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "poll-s" ] ~docv:"SECONDS"
+        ~doc:"Idle polling interval for process-backend workers and the \
+              coordinator's completion tail.")
+
+(* Seed a queue over [units], run workers until it drains, then hand
+   control back to [assemble] — which replays every unit through the now-
+   populated cache (byte-identical to a serial run by construction) and
+   recomputes any unit whose worker failed.  The queue is deleted after a
+   successful assembly. *)
+let with_proc_backend ~quick ~jobs ~workers ~lease_s ~poll_s ~cache ~units
+    assemble =
+  let now () = Unix.gettimeofday () in
+  let qdir =
+    Filename.concat
+      (Slowcc.Result_cache.dir cache)
+      (Printf.sprintf "queue-%d-%06x" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF))
+  in
+  let q =
+    Slowcc.Workqueue.seed ~dir:qdir
+      ~fingerprint:(Slowcc.Result_cache.fingerprint cache)
+      ~quick
+      ~jobs:
+        (List.map
+           (fun u -> (u, Slowcc.Experiments.unit_cost ~cache ~quick u))
+           units)
+  in
+  Format.eprintf "queue: %s (%d unit(s))@." qdir (List.length units);
+  let requeue () = ignore (Slowcc.Workqueue.requeue_expired q ~now:(now ())) in
+  let nap () = Unix.sleepf (Float.max 0.05 poll_s) in
+  (if workers = 0 then begin
+     Format.eprintf
+       "no local workers; run 'slowcc_run worker %s' on any machine sharing \
+        this filesystem@."
+       qdir;
+     while not (Slowcc.Workqueue.drained q) do
+       requeue ();
+       nap ()
+     done
+   end
+   else begin
+     (* Split this machine's domain budget across the worker processes;
+        each worker still parallelizes within a unit on its own pool. *)
+     let worker_jobs = max 1 (jobs / max 1 workers) in
+     let args =
+       [
+         Sys.executable_name; "worker"; qdir; "--jobs";
+         string_of_int worker_jobs; "--lease-s"; string_of_float lease_s;
+         "--poll-s"; string_of_float poll_s;
+       ]
+       @ (match Engine.Fastforward.get_default () with
+         | Engine.Fastforward.On -> [ "--ff"; "on" ]
+         | Engine.Fastforward.Off -> [])
+     in
+     let spawn () =
+       Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
+         Unix.stdout Unix.stderr
+     in
+     let pids = List.init workers (fun _ -> spawn ()) in
+     let rec tail alive =
+       if Slowcc.Workqueue.drained q then alive
+       else begin
+         let alive =
+           List.filter
+             (fun pid ->
+               match Unix.waitpid [ Unix.WNOHANG ] pid with
+               | 0, _ -> true
+               | _ -> false
+               | exception Unix.Unix_error _ -> false)
+             alive
+         in
+         requeue ();
+         if alive = [] then begin
+           (* Workers exit on drain, so an early empty list means crashes;
+              assembly below recomputes whatever is missing. *)
+           if not (Slowcc.Workqueue.drained q) then
+             Format.eprintf
+               "warning: all workers exited with work outstanding; finishing \
+                locally@.";
+           alive
+         end
+         else begin
+           nap ();
+           tail alive
+         end
+       end
+     in
+     let alive = tail pids in
+     List.iter
+       (fun pid ->
+         try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+       alive
+   end);
+  (match Slowcc.Workqueue.failed_units q with
+  | [] -> ()
+  | failed ->
+    Format.eprintf "warning: worker-side failure(s) in %s; recomputing \
+                    locally@."
+      (String.concat ", " failed));
+  let result = assemble () in
+  Slowcc.Workqueue.delete q;
+  result
+
+let worker_cmd =
+  let queue_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUEUE_DIR"
+          ~doc:
+            "Queue directory printed by a '--backend proc' coordinator \
+             (lives inside the shared cache directory).")
+  in
+  let run verbose jobs sched ff lease_s poll_s queue_dir =
+    setup_logs verbose;
+    apply_sched sched;
+    apply_ff ff;
+    match Slowcc.Workqueue.load ~dir:queue_dir with
+    | Error msg ->
+      Format.eprintf "cannot open queue %s: %s@." queue_dir msg;
+      2
+    | Ok q ->
+      let self = Slowcc.Result_cache.self_fingerprint () in
+      if not (String.equal self (Slowcc.Workqueue.fingerprint q)) then begin
+        (* A mismatched binary would publish cache entries under keys the
+           coordinator will never look up — wasted work at best, so
+           refuse loudly. *)
+        Format.eprintf
+          "fingerprint mismatch: queue was seeded by %s but this binary is \
+           %s; use the same build on every machine@."
+          (Slowcc.Workqueue.fingerprint q)
+          self;
+        3
+      end
+      else begin
+        let cache_dir = Filename.dirname (Slowcc.Workqueue.dir q) in
+        let cache = Slowcc.Result_cache.create ~dir:cache_dir () in
+        let quick = Slowcc.Workqueue.quick q in
+        let worker =
+          Slowcc.Workqueue.sanitize_worker
+            (Printf.sprintf "%s-%d" (Unix.gethostname ()) (Unix.getpid ()))
+        in
+        Engine.Pool.with_pool ~jobs (fun pool ->
+            let completed =
+              Slowcc.Workqueue.worker_loop q ~worker ~now:Unix.gettimeofday
+                ~sleep:Unix.sleepf ~lease_s ~poll_s
+                ~run:(fun (job : Slowcc.Workqueue.job) ->
+                  match
+                    Slowcc.Experiments.run_cached ~quick ~pool ~cache
+                      ~now:Unix.gettimeofday job.Slowcc.Workqueue.name
+                  with
+                  | Some _ -> ()
+                  | None ->
+                    failwith
+                      ("unknown experiment " ^ job.Slowcc.Workqueue.name))
+            in
+            Format.eprintf "worker %s: %d job(s) completed@." worker completed;
+            0)
+      end
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Join a '--backend proc' sweep: claim queued experiment units, \
+          run them and publish the results into the shared cache.  Exits \
+          when the queue drains; exit code 3 means this binary does not \
+          match the one that seeded the queue.")
+    Term.(
+      const run $ verbose_arg $ jobs_arg $ sched_arg $ ff_arg $ lease_arg
+      $ poll_arg $ queue_arg)
+
 let list_cmd =
   let run () =
     List.iter print_endline Slowcc.Experiments.names;
@@ -157,65 +381,101 @@ let run_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id, e.g. fig7.")
   in
-  let run verbose quick jobs sched ff out_dir emit cache_dir no_cache name =
+  let run verbose quick jobs sched ff out_dir emit cache_dir no_cache backend
+      workers lease_s poll_s name =
     setup_logs verbose;
     apply_sched sched;
     apply_ff ff;
     let cache = open_cache ~cache_dir ~no_cache in
-    Engine.Pool.with_pool ~jobs (fun pool ->
-        let result =
-          match out_dir with
-          | None ->
-            Slowcc.Experiments.run_cached ~quick ~pool ?cache
-              ~now:Unix.gettimeofday name
-          | Some dir ->
-            Slowcc.Experiments.run_to_dir ~quick ~pool ?cache ~emit
-              ~now:Unix.gettimeofday ~dir ~jobs name
-            |> Option.map (fun (manifest_path, tables) ->
-                   Format.eprintf "wrote %s@." manifest_path;
-                   tables)
-        in
-        match result with
-        | Some tables ->
-          List.iter (Slowcc.Table.print fmt) tables;
-          report_cache cache;
-          0
+    let finish ~backend pool =
+      let result =
+        match out_dir with
         | None ->
-          Format.eprintf "unknown experiment %s; try 'slowcc_run list'@." name;
-          1)
+          Slowcc.Experiments.run_cached ~quick ~pool ?cache
+            ~now:Unix.gettimeofday name
+        | Some dir ->
+          Slowcc.Experiments.run_to_dir ~quick ~pool ?cache ?backend ~emit
+            ~now:Unix.gettimeofday ~dir ~jobs name
+          |> Option.map (fun (manifest_path, tables) ->
+                 Format.eprintf "wrote %s@." manifest_path;
+                 tables)
+      in
+      match result with
+      | Some tables ->
+        List.iter (Slowcc.Table.print fmt) tables;
+        report_cache cache;
+        0
+      | None ->
+        Format.eprintf "unknown experiment %s; try 'slowcc_run list'@." name;
+        1
+    in
+    match (backend, cache) with
+    | Engine.Pool.Domains, _ ->
+      Engine.Pool.with_pool ~jobs (fun pool -> finish ~backend:None pool)
+    | Engine.Pool.Procs, None ->
+      Format.eprintf "--backend proc needs --cache-dir (the queue and the \
+                      results live there)@.";
+      2
+    | Engine.Pool.Procs, Some cache ->
+      if not (List.mem name Slowcc.Experiments.names) then begin
+        Format.eprintf "unknown experiment %s; try 'slowcc_run list'@." name;
+        1
+      end
+      else
+        with_proc_backend ~quick ~jobs ~workers ~lease_s ~poll_s ~cache
+          ~units:[ name ] (fun () ->
+            Engine.Pool.with_pool ~jobs (fun pool ->
+                finish ~backend:(Some "proc") pool))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one experiment and print its table")
     Term.(
       const run $ verbose_arg $ quick_arg $ jobs_arg $ sched_arg $ ff_arg
-      $ out_dir_arg $ emit_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
+      $ out_dir_arg $ emit_arg $ cache_dir_arg $ no_cache_arg $ backend_arg
+      $ workers_arg $ lease_arg $ poll_arg $ name_arg)
 
 let all_cmd =
-  let run quick jobs sched ff out_dir emit cache_dir no_cache =
+  let run quick jobs sched ff out_dir emit cache_dir no_cache backend workers
+      lease_s poll_s =
     apply_sched sched;
     apply_ff ff;
     let cache = open_cache ~cache_dir ~no_cache in
-    Engine.Pool.with_pool ~jobs (fun pool ->
-        (match out_dir with
-        | None ->
-          List.iter (Slowcc.Table.print fmt)
-            (Slowcc.Experiments.all ~quick ~pool ?cache ~now:Unix.gettimeofday
-               ())
-        | Some dir ->
-          let manifest_path, _tables =
-            Slowcc.Experiments.all_to_dir
-              ~stream:(Slowcc.Table.print fmt)
-              ~quick ~pool ?cache ~emit ~now:Unix.gettimeofday ~dir ~jobs ()
-          in
-          Format.eprintf "wrote %s@." manifest_path);
-        report_cache cache);
-    0
+    let finish ~backend pool =
+      (match out_dir with
+      | None ->
+        List.iter (Slowcc.Table.print fmt)
+          (Slowcc.Experiments.all ~quick ~pool ?cache ~now:Unix.gettimeofday
+             ())
+      | Some dir ->
+        let manifest_path, _tables =
+          Slowcc.Experiments.all_to_dir
+            ~stream:(Slowcc.Table.print fmt)
+            ~quick ~pool ?cache ?backend ~emit ~now:Unix.gettimeofday ~dir
+            ~jobs ()
+        in
+        Format.eprintf "wrote %s@." manifest_path);
+      report_cache cache;
+      0
+    in
+    match (backend, cache) with
+    | Engine.Pool.Domains, _ ->
+      Engine.Pool.with_pool ~jobs (fun pool -> finish ~backend:None pool)
+    | Engine.Pool.Procs, None ->
+      Format.eprintf "--backend proc needs --cache-dir (the queue and the \
+                      results live there)@.";
+      2
+    | Engine.Pool.Procs, Some cache ->
+      with_proc_backend ~quick ~jobs ~workers ~lease_s ~poll_s ~cache
+        ~units:Slowcc.Experiments.all_units (fun () ->
+          Engine.Pool.with_pool ~jobs (fun pool ->
+              finish ~backend:(Some "proc") pool))
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Run every experiment in figure order")
     Term.(
       const run $ quick_arg $ jobs_arg $ sched_arg $ ff_arg $ out_dir_arg
-      $ emit_arg $ cache_dir_arg $ no_cache_arg)
+      $ emit_arg $ cache_dir_arg $ no_cache_arg $ backend_arg $ workers_arg
+      $ lease_arg $ poll_arg)
 
 (* [cache stats]/[cache clear] operate on the directory directly (no
    cache handle): they must work for caches written by other binaries. *)
@@ -229,22 +489,83 @@ let cache_dir_required =
 
 let cache_stats_cmd =
   let run dir =
-    let s = Slowcc.Result_cache.stats ~dir in
+    let fp = Slowcc.Result_cache.self_fingerprint () in
+    let s = Slowcc.Result_cache.stats ~fingerprint:fp ~dir () in
     Format.printf "dir:         %s@." dir;
     Format.printf "entries:     %d (%d bytes)@." s.Slowcc.Result_cache.entries
       s.Slowcc.Result_cache.entry_bytes;
-    Format.printf "timings:     %d job(s)@." s.Slowcc.Result_cache.timing_entries;
-    Format.printf "fingerprint: %s (this binary)@."
-      (Slowcc.Result_cache.self_fingerprint ());
+    Format.printf "timings:     %d job(s), %d usable by this binary@."
+      s.Slowcc.Result_cache.timing_entries
+      s.Slowcc.Result_cache.timing_entries_self;
+    Format.printf "fingerprint: %s (this binary)@." fp;
     0
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Show entry count, size and timing-store size")
+    (Cmd.info "stats"
+       ~doc:
+         "Show entry count, total size and timing coverage (how many \
+          recorded job timings this binary's LPT scheduling can use)")
     Term.(const run $ cache_dir_required)
+
+let age_conv =
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf "cannot parse duration %S (e.g. 90s, 30m, 12h, 7d)" s))
+    in
+    let len = String.length s in
+    if len = 0 then fail ()
+    else
+      let num, mult =
+        match s.[len - 1] with
+        | 's' -> (String.sub s 0 (len - 1), 1.)
+        | 'm' -> (String.sub s 0 (len - 1), 60.)
+        | 'h' -> (String.sub s 0 (len - 1), 3600.)
+        | 'd' -> (String.sub s 0 (len - 1), 86400.)
+        | _ -> (s, 1.)
+      in
+      match float_of_string_opt num with
+      | Some v when Float.is_finite v && v >= 0. -> Ok (v *. mult)
+      | Some _ | None -> fail ()
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%gs" v)
+
+let cache_prune_cmd =
+  let older_arg =
+    Arg.(
+      required
+      & opt (some age_conv) None
+      & info [ "older-than" ] ~docv:"AGE"
+          ~doc:
+            "Delete entries not modified in the last $(docv): plain \
+             seconds or a number suffixed with $(b,s), $(b,m), $(b,h) or \
+             $(b,d).")
+  in
+  let run dir older_than_s =
+    let mtime path =
+      match Unix.stat path with
+      | st -> Some st.Unix.st_mtime
+      | exception Unix.Unix_error _ -> None
+    in
+    let s =
+      Slowcc.Result_cache.prune ~dir ~older_than_s ~now:(Unix.time ()) ~mtime
+    in
+    Format.printf "pruned %d entr(ies) (%d bytes), kept %d under %s@."
+      s.Slowcc.Result_cache.pruned s.Slowcc.Result_cache.pruned_bytes
+      s.Slowcc.Result_cache.kept dir;
+    0
+  in
+  Cmd.v
+    (Cmd.info "prune"
+       ~doc:
+         "Delete cache entries older than a cutoff (by file modification \
+          time); the timing store is kept")
+    Term.(const run $ cache_dir_required $ older_arg)
 
 let cache_clear_cmd =
   let run dir =
-    let s = Slowcc.Result_cache.stats ~dir in
+    let s = Slowcc.Result_cache.stats ~dir () in
     Slowcc.Result_cache.clear ~dir;
     Format.printf "cleared %d entr(ies) and the timing store under %s@."
       s.Slowcc.Result_cache.entries dir;
@@ -258,9 +579,9 @@ let cache_cmd =
   Cmd.group
     (Cmd.info "cache"
        ~doc:
-         "Inspect or clear a result cache directory (see --cache-dir on \
-          run/all)")
-    [ cache_stats_cmd; cache_clear_cmd ]
+         "Inspect, prune or clear a result cache directory (see \
+          --cache-dir on run/all)")
+    [ cache_stats_cmd; cache_prune_cmd; cache_clear_cmd ]
 
 let protocol_conv =
   let parse s =
@@ -535,6 +856,9 @@ let main =
        ~doc:
          "Reproduction driver for 'Dynamic Behavior of Slowly-Responsive \
           Congestion Control Algorithms' (SIGCOMM 2001)")
-    [ list_cmd; run_cmd; all_cmd; compete_cmd; cache_cmd; fuzz_cmd; manyflow_cmd ]
+    [
+      list_cmd; run_cmd; all_cmd; worker_cmd; compete_cmd; cache_cmd; fuzz_cmd;
+      manyflow_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

@@ -1173,6 +1173,12 @@ let params ?(quick = false) name =
 
 let scope_label ~quick name = if quick then name ^ ":quick" else name
 
+(* Total measured wall seconds of one unit's jobs, from the timing store:
+   the LPT seed estimate of the process backend.  [None] until the unit
+   has run once under this binary (timing keys are fingerprint-scoped). *)
+let unit_cost ~cache ~quick name =
+  Result_cache.timing_sum cache ~label:(scope_label ~quick name)
+
 let run_cached ?(quick = false) ?pool ?cache ?now name =
   if not (List.mem name names) then None
   else
@@ -1232,7 +1238,7 @@ let cache_delta cache f =
 (* [now] supplies the wall clock for the manifest's (non-digested) timing
    section; it defaults to [Sys.time] so the core library stays free of a
    unix dependency — the CLI passes a real wall clock. *)
-let run_to_dir ?(quick = false) ?pool ?cache ?(emit = Manifest.Both)
+let run_to_dir ?(quick = false) ?pool ?cache ?backend ?(emit = Manifest.Both)
     ?(now = Sys.time) ~dir ~jobs name =
   let t0 = now () in
   let result, cache_info =
@@ -1243,13 +1249,13 @@ let run_to_dir ?(quick = false) ?pool ?cache ?(emit = Manifest.Both)
   | Some tables ->
     let wall_s = now () -. t0 in
     let manifest_path =
-      Manifest.write ?cache:cache_info ~dir ~experiment:name ~quick
+      Manifest.write ?cache:cache_info ?backend ~dir ~experiment:name ~quick
         ~params:(params ~quick name) ~emit ~jobs ~wall_s tables
     in
     Some (manifest_path, tables)
 
-let all_to_dir ?stream ?(quick = false) ?pool ?cache ?(emit = Manifest.Both)
-    ?(now = Sys.time) ~dir ~jobs () =
+let all_to_dir ?stream ?(quick = false) ?pool ?cache ?backend
+    ?(emit = Manifest.Both) ?(now = Sys.time) ~dir ~jobs () =
   let t0 = now () in
   let tables, cache_info =
     cache_delta cache (fun () ->
@@ -1257,7 +1263,7 @@ let all_to_dir ?stream ?(quick = false) ?pool ?cache ?(emit = Manifest.Both)
   in
   let wall_s = now () -. t0 in
   let manifest_path =
-    Manifest.write ?cache:cache_info ~dir ~experiment:"all" ~quick
+    Manifest.write ?cache:cache_info ?backend ~dir ~experiment:"all" ~quick
       ~params:(params ~quick "all") ~emit ~jobs ~wall_s tables
   in
   (manifest_path, tables)

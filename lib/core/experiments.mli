@@ -80,6 +80,12 @@ val all :
 (** Names accepted by {!run_by_name}. *)
 val names : string list
 
+(** Units of computation for the full suite: {!names} minus the second
+    member of each figure pair computed by one sweep (fig5, fig15).
+    These are the jobs of the process backend — one work-queue entry, and
+    one cache entry, per unit. *)
+val all_units : string list
+
 (** Run one experiment by id ("fig3" ... "fig20", "ablation-..."). *)
 val run_by_name :
   ?quick:bool -> ?pool:Engine.Pool.t -> string -> Table.t list option
@@ -106,6 +112,12 @@ val run_cached :
   string ->
   Table.t list option
 
+(** Total measured wall seconds of the named unit's jobs from the cache's
+    timing store ({!Result_cache.timing_sum} under the unit's scope
+    label) — the cost estimate the process backend seeds its work queue
+    with.  [None] until the unit has been measured by this binary. *)
+val unit_cost : cache:Result_cache.t -> quick:bool -> string -> float option
+
 (** [run_to_dir ~dir ~jobs name] runs the experiment (through [cache]
     when given) and writes its tables (per [emit], default [Both]) plus
     [dir/manifest.json]; returns the manifest path and the tables, or
@@ -114,11 +126,13 @@ val run_cached :
     parallel sweeps.  [now] supplies the wall clock for the timing
     section (defaults to [Sys.time]).  When [cache] is given the timing
     section also records this run's cache hits/misses and the code
-    fingerprint. *)
+    fingerprint.  [backend], when given, is recorded in the timing
+    section as the pool backend that executed the sweep. *)
 val run_to_dir :
   ?quick:bool ->
   ?pool:Engine.Pool.t ->
   ?cache:Result_cache.t ->
+  ?backend:string ->
   ?emit:Manifest.emit ->
   ?now:(unit -> float) ->
   dir:string ->
@@ -133,6 +147,7 @@ val all_to_dir :
   ?quick:bool ->
   ?pool:Engine.Pool.t ->
   ?cache:Result_cache.t ->
+  ?backend:string ->
   ?emit:Manifest.emit ->
   ?now:(unit -> float) ->
   dir:string ->

@@ -97,10 +97,21 @@ let run_section ~experiment ~quick ~params ~tables =
       ("tables", Json.List (List.map table_entry tables));
     ]
 
-let render ?cache ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables () =
+let render ?cache ?backend ~experiment ~quick ~params ~emit ~jobs ~wall_s
+    ~tables () =
   let run = run_section ~experiment ~quick ~params ~tables in
   let run_str = Json.to_string run in
   let digest = Digest.to_hex (Digest.string run_str) in
+  (* Like sched: which pool backend executed the sweep (domains vs
+     processes) is engine configuration — both produce identical bytes —
+     so it is recorded for provenance in the timing section only.  Absent
+     (the historical default) unless a caller names one, keeping old
+     manifests byte-stable. *)
+  let backend_fields =
+    match backend with
+    | None -> []
+    | Some b -> [ ("backend", Json.String b) ]
+  in
   (* Like sched/jobs, the cache record is engine configuration: hits vs
      misses change wall time only — a verified hit reproduces the same
      table bytes a fresh simulation would — so it stays out of the
@@ -139,18 +150,20 @@ let render ?cache ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables () =
                );
                ("emit", Json.String (emit_to_string emit));
              ]
-            @ cache_fields) );
+            @ backend_fields @ cache_fields) );
       ]
   in
   Json.to_string manifest ^ "\n"
 
-let write ?cache ~dir ~experiment ~quick ~params ~emit ~jobs ~wall_s tables =
+let write ?cache ?backend ~dir ~experiment ~quick ~params ~emit ~jobs ~wall_s
+    tables =
   Table.ensure_dir dir;
   List.iter (fun t -> ignore (save_table ~dir ~emit t)) tables;
   let path = Filename.concat dir "manifest.json" in
   let oc = open_out path in
   output_string oc
-    (render ?cache ~experiment ~quick ~params ~emit ~jobs ~wall_s ~tables ());
+    (render ?cache ?backend ~experiment ~quick ~params ~emit ~jobs ~wall_s
+       ~tables ());
   close_out oc;
   path
 

@@ -43,9 +43,13 @@ val run_section :
     [cache], when a result cache served the run, is [(hits, misses,
     fingerprint)]; it is recorded in the (non-digested) timing section —
     a verified hit reproduces the exact bytes a fresh simulation would,
-    so cache state is engine configuration, not experiment identity. *)
+    so cache state is engine configuration, not experiment identity.
+    [backend] likewise records which pool backend executed the sweep
+    (["domain"] or ["proc"]) in the timing section; both backends produce
+    identical table bytes, so it never enters the digest. *)
 val render :
   ?cache:int * int * string ->
+  ?backend:string ->
   experiment:string ->
   quick:bool ->
   params:(string * Engine.Json.t) list ->
@@ -60,6 +64,7 @@ val render :
     [dir/manifest.json]; returns the manifest path. *)
 val write :
   ?cache:int * int * string ->
+  ?backend:string ->
   dir:string ->
   experiment:string ->
   quick:bool ->

@@ -11,9 +11,12 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   (* Measured per-job wall seconds from previous runs, keyed by
-     "<experiment>[:quick]#<job index>".  Advisory only: estimates order
-     the pool's execution (LPT), they never influence results, so a stale
-     or missing entry is harmless. *)
+     "<fp8>:<experiment>[:quick]#<job index>" where fp8 abbreviates the
+     fingerprint of the binary that measured them.  Advisory only:
+     estimates order the pool's execution (LPT), they never influence
+     results, so a stale or missing entry is harmless — but scoping the
+     keys by fingerprint keeps a rebuilt binary from ordering its jobs
+     by a stale binary's clock. *)
   timings : (string, float) Hashtbl.t;
 }
 
@@ -252,6 +255,26 @@ let lookup t ~key =
 
 let estimate t key = locked t (fun () -> Hashtbl.find_opt t.timings key)
 
+(* Timing keys are namespaced by an 8-hex-char fingerprint abbreviation:
+   long enough that two binaries colliding is a non-event (estimates are
+   advisory), short enough to keep timings.json readable. *)
+let fp8 fingerprint =
+  if String.length fingerprint > 8 then String.sub fingerprint 0 8
+  else fingerprint
+
+let timing_key_prefix ~fingerprint ~label =
+  Printf.sprintf "%s:%s#" (fp8 fingerprint) label
+
+let timing_sum t ~label =
+  let prefix = timing_key_prefix ~fingerprint:t.fingerprint ~label in
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun k v acc ->
+          if String.starts_with ~prefix k then
+            Some (v +. Option.value acc ~default:0.)
+          else acc)
+        t.timings None)
+
 let record t key wall_s =
   if Float.is_finite wall_s && wall_s >= 0. then
     locked t (fun () -> Hashtbl.replace t.timings key wall_s)
@@ -307,7 +330,10 @@ let alloc_keys s n =
       s.next_job <- v + n;
       v)
   in
-  List.init n (fun i -> Printf.sprintf "%s#%d" s.label (start + i))
+  let prefix =
+    timing_key_prefix ~fingerprint:s.cache.fingerprint ~label:s.label
+  in
+  List.init n (fun i -> Printf.sprintf "%s%d" prefix (start + i))
 
 (* ------------------------------------------------------------------ *)
 (* Directory maintenance (no instance needed)                          *)
@@ -317,13 +343,14 @@ type dir_stats = {
   entries : int;
   entry_bytes : int;
   timing_entries : int;
+  timing_entries_self : int;
 }
 
 let is_entry name = Filename.check_suffix name entry_suffix
 
-let stats ~dir =
+let stats ?fingerprint ~dir () =
   if not (Sys.file_exists dir && Sys.is_directory dir) then
-    { entries = 0; entry_bytes = 0; timing_entries = 0 }
+    { entries = 0; entry_bytes = 0; timing_entries = 0; timing_entries_self = 0 }
   else begin
     let entries = ref 0 and bytes = ref 0 in
     Array.iter
@@ -338,13 +365,63 @@ let stats ~dir =
           | exception Sys_error _ -> ()
         end)
       (Sys.readdir dir);
-    let timing_entries =
-      let tbl = Hashtbl.create 16 in
-      load_timings dir tbl;
-      Hashtbl.length tbl
+    let tbl = Hashtbl.create 16 in
+    load_timings dir tbl;
+    let timing_entries_self =
+      match fingerprint with
+      | None -> 0
+      | Some fp ->
+        let prefix = fp8 fp ^ ":" in
+        Hashtbl.fold
+          (fun k _ acc -> if String.starts_with ~prefix k then acc + 1 else acc)
+          tbl 0
     in
-    { entries = !entries; entry_bytes = !bytes; timing_entries }
+    {
+      entries = !entries;
+      entry_bytes = !bytes;
+      timing_entries = Hashtbl.length tbl;
+      timing_entries_self;
+    }
   end
+
+type prune_stats = { pruned : int; pruned_bytes : int; kept : int }
+
+(* Age-based eviction for long-lived shared cache dirs.  Only entry files
+   (and stranded atomic-write temps) are candidates; the timing store is
+   tiny and always useful, and foreign files are none of our business.
+   The mtime callback keeps this module unix-free — the CLI passes a
+   Unix.stat wrapper — and a path that cannot be statted (or vanished
+   under a concurrent prune) is simply kept/skipped. *)
+let prune ~dir ~older_than_s ~now ~mtime =
+  let acc = { pruned = 0; pruned_bytes = 0; kept = 0 } in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else
+    Array.fold_left
+      (fun acc name ->
+        if not (is_entry name || Filename.check_suffix name ".tmp") then acc
+        else begin
+          let path = Filename.concat dir name in
+          match mtime path with
+          | Some m when now -. m > older_than_s ->
+            let size =
+              match open_in_bin path with
+              | ic ->
+                let n = in_channel_length ic in
+                close_in_noerr ic;
+                n
+              | exception Sys_error _ -> 0
+            in
+            (match Sys.remove path with
+            | () ->
+              {
+                acc with
+                pruned = acc.pruned + 1;
+                pruned_bytes = acc.pruned_bytes + size;
+              }
+            | exception Sys_error _ -> { acc with kept = acc.kept + 1 })
+          | Some _ | None -> { acc with kept = acc.kept + 1 }
+        end)
+      acc (Sys.readdir dir)
 
 let clear ~dir =
   if Sys.file_exists dir && Sys.is_directory dir then

@@ -27,8 +27,11 @@
     {2 Timings}
 
     [dir/timings.json] records measured per-job wall seconds keyed by
-    ["<label>#<index>"].  It is advisory and deliberately outside the
-    content-addressed scheme: estimates only order execution
+    ["<fp8>:<label>#<index>"], where [fp8] is the first 8 hex chars of
+    the code fingerprint that measured them — so estimates recorded by a
+    stale binary stop matching after a rebuild instead of misordering
+    the new binary's jobs.  The store is advisory and deliberately
+    outside the content-addressed scheme: estimates only order execution
     (longest-processing-time-first), they never change results. *)
 
 type t
@@ -77,6 +80,14 @@ val estimate : t -> string -> float option
     ignored).  Safe to call from worker domains. *)
 val record : t -> string -> float -> unit
 
+(** [timing_sum t ~label] sums every recorded job timing of that label's
+    namespace {e for this cache's fingerprint} — the total measured wall
+    time of one experiment unit, used by the process backend to seed its
+    work queue in LPT order.  [None] when no job of the label has a
+    measurement (a rebuild intentionally loses coverage: a stale
+    binary's numbers must not order the new binary's jobs). *)
+val timing_sum : t -> label:string -> float option
+
 (** Persist the timing store to [dir/timings.json] (sorted keys,
     deterministic bytes for a given content).  The on-disk file is
     re-read and merged first — this instance's entries win on conflict —
@@ -87,8 +98,9 @@ val save_timings : t -> unit
 (** {2 Scopes}
 
     A scope is the job-timing namespace of one experiment run: batch
-    submissions allocate contiguous key blocks ["<label>#<i>"], so a
-    given experiment's jobs keep stable keys across runs. *)
+    submissions allocate contiguous key blocks ["<fp8>:<label>#<i>"], so
+    a given experiment's jobs keep stable keys across runs of the same
+    binary. *)
 
 type scope
 
@@ -108,12 +120,32 @@ val alloc_keys : scope -> int -> string list
 type dir_stats = {
   entries : int;  (** number of [.entry] files *)
   entry_bytes : int;  (** their total size *)
-  timing_entries : int;  (** recorded job timings *)
+  timing_entries : int;  (** recorded job timings, any fingerprint *)
+  timing_entries_self : int;
+      (** timings usable by [fingerprint] — the LPT coverage this binary
+          actually gets (0 when no fingerprint was supplied) *)
 }
 
 (** Inspect a cache directory without opening it as a cache.  A missing
-    directory reads as empty. *)
-val stats : dir:string -> dir_stats
+    directory reads as empty.  [fingerprint] (e.g. {!self_fingerprint})
+    scopes the timing-coverage count. *)
+val stats : ?fingerprint:string -> dir:string -> unit -> dir_stats
+
+type prune_stats = { pruned : int; pruned_bytes : int; kept : int }
+
+(** [prune ~dir ~older_than_s ~now ~mtime] deletes cache entries (and
+    stranded [.tmp] files) whose modification time is more than
+    [older_than_s] seconds before [now], bounding long-lived shared
+    cache directories.  [mtime] supplies per-path modification times in
+    the same clock as [now] (the CLI passes [Unix.stat]; the core
+    library stays unix-free); paths it cannot stat are kept.  The
+    timing store and foreign files are never touched. *)
+val prune :
+  dir:string ->
+  older_than_s:float ->
+  now:float ->
+  mtime:(string -> float option) ->
+  prune_stats
 
 (** Delete every entry and the timing store.  Leaves foreign files (and
     the directory itself) alone. *)

@@ -152,8 +152,72 @@ let test_timing_store () =
   let reloaded = Cache.create ~dir () in
   Alcotest.(check (option (float 1e-9))) "timings survive reload" (Some 0.25)
     (Cache.estimate reloaded "fig7#1");
-  let s = Cache.stats ~dir in
+  let s = Cache.stats ~dir () in
   Alcotest.(check int) "two persisted timings" 2 s.Cache.timing_entries
+
+(* Satellite regression: timing keys carry the code fingerprint, so a
+   stale binary's measurements cannot misorder a rebuilt binary's jobs —
+   the rebuild simply starts with no estimates. *)
+let test_timing_keys_fingerprint_scoped () =
+  let dir = fresh_dir () in
+  let v1 = Cache.create ~fingerprint:"0123456789abcdef" ~dir () in
+  (match Cache.alloc_keys (Cache.scope v1 ~label:"fig7:quick") 2 with
+  | [ k0; k1 ] ->
+    Alcotest.(check string) "keys carry the fp8 prefix"
+      "01234567:fig7:quick#0" k0;
+    Alcotest.(check string) "block is contiguous" "01234567:fig7:quick#1" k1;
+    Cache.record v1 k0 1.5;
+    Cache.record v1 k1 0.5
+  | _ -> Alcotest.fail "expected two keys");
+  Alcotest.(check (option (float 1e-9))) "timing_sum totals the unit"
+    (Some 2.0)
+    (Cache.timing_sum v1 ~label:"fig7:quick");
+  Alcotest.(check (option (float 1e-9))) "other labels stay empty" None
+    (Cache.timing_sum v1 ~label:"fig7");
+  Cache.save_timings v1;
+  let v2 = Cache.create ~fingerprint:"fedcba9876543210" ~dir () in
+  Alcotest.(check (option (float 1e-9))) "a rebuild starts cold" None
+    (Cache.timing_sum v2 ~label:"fig7:quick");
+  (match Cache.alloc_keys (Cache.scope v2 ~label:"fig7:quick") 1 with
+  | [ k ] ->
+    Alcotest.(check (option (float 1e-9)))
+      "no stale estimate under the new fingerprint" None (Cache.estimate v2 k)
+  | _ -> Alcotest.fail "expected one key");
+  let s = Cache.stats ~fingerprint:"0123456789abcdef" ~dir () in
+  Alcotest.(check int) "both timings persisted" 2 s.Cache.timing_entries;
+  Alcotest.(check int) "full coverage for the measuring binary" 2
+    s.Cache.timing_entries_self;
+  let s' = Cache.stats ~fingerprint:"fedcba9876543210" ~dir () in
+  Alcotest.(check int) "zero coverage for the rebuild" 0
+    s'.Cache.timing_entries_self
+
+(* Satellite: age-based pruning deletes only entries past the cutoff and
+   never touches the timing store. *)
+let test_prune_by_age () =
+  let dir = fresh_dir () in
+  let c = Cache.create ~dir () in
+  let key_a = Cache.key c ~experiment:"figA" ~quick:true ~params in
+  let key_b = Cache.key c ~experiment:"figB" ~quick:true ~params in
+  Cache.store c ~key:key_a ~experiment:"figA" ~quick:true [ sample ];
+  Cache.store c ~key:key_b ~experiment:"figB" ~quick:true [ second ];
+  Cache.record c "figA#0" 1.0;
+  Cache.save_timings c;
+  (* Simulated clock: A is 100 s old, B is 10 s old; cutoff at 50 s. *)
+  let now = 1000. in
+  let mtime path =
+    if find_sub path key_a >= 0 then Some (now -. 100.)
+    else if find_sub path key_b >= 0 then Some (now -. 10.)
+    else Some now
+  in
+  let s = Cache.prune ~dir ~older_than_s:50. ~now ~mtime in
+  Alcotest.(check int) "one entry pruned" 1 s.Cache.pruned;
+  Alcotest.(check bool) "pruned bytes counted" true (s.Cache.pruned_bytes > 0);
+  Alcotest.(check int) "one entry kept" 1 s.Cache.kept;
+  Alcotest.(check bool) "old entry gone" true (Cache.lookup c ~key:key_a = None);
+  Alcotest.(check bool) "young entry survives" true
+    (Cache.lookup c ~key:key_b <> None);
+  Alcotest.(check int) "timing store untouched" 1
+    (Cache.stats ~dir ()).Cache.timing_entries
 
 (* Regression: two runs sharing a cache dir used to lose timings — each
    [save_timings] wrote only its own in-memory table, so the second save
@@ -187,7 +251,7 @@ let test_timing_saves_merge () =
 
 let test_stats_and_clear () =
   let dir = fresh_dir () in
-  let s0 = Cache.stats ~dir in
+  let s0 = Cache.stats ~dir () in
   Alcotest.(check int) "missing dir reads empty" 0 s0.Cache.entries;
   let c = Cache.create ~dir () in
   let key = Cache.key c ~experiment:"fig0" ~quick:true ~params in
@@ -197,12 +261,12 @@ let test_stats_and_clear () =
   (* A foreign file must survive [clear]. *)
   Out_channel.with_open_bin (Filename.concat dir "README") (fun oc ->
       Out_channel.output_string oc "not a cache entry\n");
-  let s1 = Cache.stats ~dir in
+  let s1 = Cache.stats ~dir () in
   Alcotest.(check int) "one entry" 1 s1.Cache.entries;
   Alcotest.(check bool) "entry bytes counted" true (s1.Cache.entry_bytes > 0);
   Alcotest.(check int) "one timing" 1 s1.Cache.timing_entries;
   Cache.clear ~dir;
-  let s2 = Cache.stats ~dir in
+  let s2 = Cache.stats ~dir () in
   Alcotest.(check int) "entries cleared" 0 s2.Cache.entries;
   Alcotest.(check int) "timings cleared" 0 s2.Cache.timing_entries;
   Alcotest.(check bool) "foreign file kept" true
@@ -317,6 +381,9 @@ let suite =
     Alcotest.test_case "corruption self-heals" `Quick
       test_corruption_self_heals;
     Alcotest.test_case "timing store" `Quick test_timing_store;
+    Alcotest.test_case "timing keys fingerprint-scoped" `Quick
+      test_timing_keys_fingerprint_scoped;
+    Alcotest.test_case "prune by age" `Quick test_prune_by_age;
     Alcotest.test_case "timing saves merge" `Quick test_timing_saves_merge;
     Alcotest.test_case "stats and clear" `Quick test_stats_and_clear;
     Alcotest.test_case "'all' params embed figures" `Quick
