@@ -590,7 +590,8 @@ let protocol_conv =
         (`Msg
           (Printf.sprintf
              "cannot parse protocol %S (try tcp:2, tcp-sack:2, rap:8, sqrt:2, \
-              iiad:2, tfrc:6, tfrc+sc:256, tear:8)"
+              iiad:2, tfrc:6, tfrc+sc:256, tear:8, bbr, vegas, \
+              vegas:1-3)"
              s))
     in
     match String.split_on_char ':' s with
@@ -626,6 +627,15 @@ let protocol_conv =
       match int_of_string_opt k with
       | Some k -> Ok (Slowcc.Protocol.tfrc ~conservative:true ~k ())
       | None -> fail ())
+    | [ "bbr" ] -> Ok Slowcc.Protocol.bbr
+    | [ "vegas" ] -> Ok (Slowcc.Protocol.vegas ())
+    | [ "vegas"; ab ] -> (
+      match String.split_on_char '-' ab with
+      | [ a; b ] -> (
+        match (float_of_string_opt a, float_of_string_opt b) with
+        | Some alpha, Some beta -> Ok (Slowcc.Protocol.vegas ~alpha ~beta ())
+        | _ -> fail ())
+      | _ -> fail ())
     | _ -> fail ()
   in
   let print fmt p = Format.pp_print_string fmt (Slowcc.Protocol.name p) in

@@ -89,14 +89,23 @@ let measured_recv_rate r ~now =
   | (Some _ as s), None | None, (Some _ as s) -> s
   | None, None -> None
 
+(* Fallback receive-rate estimate when no per-packet measurement is
+   available: bytes over the feedback interval.  A feedback fired exactly
+   at a packet-arrival instant (dyadic timestamps make this reproducible)
+   has [elapsed = 0.]; dividing would poison the estimate with inf/nan,
+   so the previous estimate is kept instead. *)
+let nofb_recv_rate ~bytes ~elapsed ~prev =
+  if elapsed > 0. then float_of_int bytes /. elapsed else prev
+
 let send_feedback r =
   let now = Engine.Sim.now r.r_sim in
   let elapsed = now -. r.last_fb_time in
   (match measured_recv_rate r ~now with
   | Some rate -> r.recv_rate_estimate <- rate
   | None ->
-    if elapsed > 0. then
-      r.recv_rate_estimate <- float_of_int r.bytes_since_fb /. elapsed);
+    r.recv_rate_estimate <-
+      nofb_recv_rate ~bytes:r.bytes_since_fb ~elapsed
+        ~prev:r.recv_rate_estimate);
   let p =
     Loss_history.loss_event_rate ~discounting:r.r_cfg.history_discounting
       r.history

@@ -45,3 +45,11 @@ val srtt : t -> float
 val loss_event_rate : t -> float
 
 val in_slow_start : t -> bool
+
+(** The receiver's fallback receive-rate estimate when no per-packet
+    measurement is available: [bytes /. elapsed], except that a feedback
+    interval of exactly zero (a feedback timer firing at a packet-arrival
+    instant, reproducible with dyadic timestamps) keeps [prev] rather
+    than producing inf/nan.  Exposed pure so the guard stays pinned by a
+    regression test. *)
+val nofb_recv_rate : bytes:int -> elapsed:float -> prev:float -> float

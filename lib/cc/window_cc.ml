@@ -168,10 +168,12 @@ let pipe t =
   if t.cfg.sack then inflight t - IntSet.cardinal t.sacked else inflight t
 
 let current_rto t =
-  let base =
-    if t.rtt_valid then t.srtt +. (4. *. t.rttvar) else 1.0
-  in
-  Float.min t.cfg.max_rto (Float.max t.cfg.min_rto base *. t.backoff)
+  let base = if t.rtt_valid then t.srtt +. (4. *. t.rttvar) else 1.0 in
+  (* Floor at the configured minimum *before* the exponential backoff
+     multiplies in: a low-RTT path (srtt + 4*rttvar << min_rto) must not
+     collapse the timer below [min_rto] and fire spurious retransmits. *)
+  let floored = Float.max t.cfg.min_rto base in
+  Float.min t.cfg.max_rto (floored *. t.backoff)
 
 let transmit t ~seq =
   let pkt =
@@ -655,6 +657,7 @@ let flow t =
 let cwnd t = t.cwnd
 let ssthresh t = t.ssthresh
 let srtt t = t.srtt
+let rto t = current_rto t
 let timeouts t = t.n_timeouts
 let fast_retransmits t = t.n_fast_rtx
 let retransmitted_pkts t = t.n_rtx_pkts

@@ -116,6 +116,11 @@ val import_state : t -> state -> unit
 (** Introspection for tests and instrumentation. *)
 val cwnd : t -> float
 
+(** Current retransmit timeout as the RTO timer would arm it: backoff
+    applied to [srtt + 4*rttvar] (1 s before the first valid sample),
+    floored at [cfg.min_rto] and capped at [cfg.max_rto]. *)
+val rto : t -> float
+
 val ssthresh : t -> float
 val srtt : t -> float
 val timeouts : t -> int

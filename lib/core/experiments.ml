@@ -1059,6 +1059,115 @@ let manyflow_tables ?quick ?pool () =
   (stats, hist)
 
 (* ------------------------------------------------------------------ *)
+(* Modern-CC protocol zoo: the dynamic gauntlet                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's question asked of today's controllers: the BBR-style and
+   Vegas-style senders (plus standard TCP as the yardstick) run the four
+   dynamic scenarios — CBR restart, oscillating bandwidth, flash crowd,
+   designed loss pattern — and land in one digested table.  One closed
+   job per (family, scenario) pair, so the sweep parallelizes and the
+   table is bit-identical at any job count. *)
+
+let bw_zoo = 15e6 (* 5 flows + half-link CBR -> ~9 pkts/RTT each *)
+
+let zoo_families =
+  [
+    ("BBR", Protocol.bbr);
+    ("VEGAS(2,4)", Protocol.vegas ());
+    ("TCP(1/2)", Protocol.tcp ~gamma:2.);
+  ]
+
+let zoo_gauntlet ?(quick = false) ?pool () =
+  let restart_duration = if quick then 230. else 300. in
+  let wave_measure = if quick then 30. else 60. in
+  let flash_duration = if quick then 45. else 60. in
+  let pattern_duration = if quick then 40. else 60. in
+  let jobs =
+    List.concat_map
+      (fun (fname, p) ->
+        [
+          ( (fname, "restart"),
+            fun () ->
+              let r =
+                Scenarios.cbr_restart ~n_flows:5 ~duration:restart_duration
+                  ~protocol:p ~bandwidth:bw_zoo ()
+              in
+              [
+                r.Scenarios.steady_loss;
+                (match r.Scenarios.stab with
+                | Some s -> s.Metrics.time_rtts
+                | None -> Float.nan);
+              ] );
+          ( (fname, "wave"),
+            fun () ->
+              let r =
+                Scenarios.square_wave ~measure:wave_measure ~flows:[ (p, 4) ]
+                  ~bandwidth:bw_zoo ~cbr_fraction:(2. /. 3.) ~period:4. ()
+              in
+              [ r.Scenarios.utilization; r.Scenarios.drop_rate ] );
+          ( (fname, "flash"),
+            fun () ->
+              let r =
+                Scenarios.flash_crowd ~duration:flash_duration ~protocol:p
+                  ~bandwidth:bw_flash ()
+              in
+              [
+                (if r.Scenarios.crowd_started = 0 then Float.nan
+                 else
+                   float_of_int r.Scenarios.crowd_completed
+                   /. float_of_int r.Scenarios.crowd_started);
+                r.Scenarios.mean_completion;
+              ] );
+          ( (fname, "pattern"),
+            fun () ->
+              let r =
+                Scenarios.loss_pattern ~duration:pattern_duration ~protocol:p
+                  ~pattern:mild_pattern ~bandwidth:bw_pattern ()
+              in
+              [
+                r.Scenarios.avg_throughput *. 8. /. 1e6;
+                r.Scenarios.smoothness;
+              ] );
+        ])
+      zoo_families
+  in
+  let results = prun ?pool jobs in
+  let metric fname scen i =
+    match List.assoc_opt (fname, scen) results with
+    | Some vs -> List.nth vs i
+    | None -> Float.nan
+  in
+  let cell v = if Float.is_nan v then "-" else fnum v in
+  let pcell v = if Float.is_nan v then "-" else fpct v in
+  let rows =
+    List.map
+      (fun (fname, _) ->
+        [
+          fname;
+          pcell (metric fname "restart" 0);
+          cell (metric fname "restart" 1);
+          pcell (metric fname "wave" 0);
+          pcell (metric fname "wave" 1);
+          pcell (metric fname "flash" 0);
+          cell (metric fname "flash" 1);
+          cell (metric fname "pattern" 0);
+          cell (metric fname "pattern" 1);
+        ])
+      zoo_families
+  in
+  Table.make ~id:"zoo-gauntlet"
+    ~title:
+      "Protocol zoo through the dynamic gauntlet (CBR restart, oscillating \
+       bandwidth, flash crowd, designed loss)"
+    ~columns:
+      [
+        "protocol"; "restart loss"; "stab (RTTs)"; "wave util"; "wave drops";
+        "crowd done"; "crowd mean (s)"; "pattern Mbps"; "smoothness";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1070,6 +1179,7 @@ let names =
     "ablation-conservative-c"; "ablation-droptail"; "ablation-sawtooth";
     "ablation-response-sim"; "ablation-rtt-fairness"; "ablation-binomial-l";
     "ablation-queue-dynamics"; "ablation-10to1-fairness"; "manyflow";
+    "zoo-gauntlet";
   ]
 
 let run_by_name ?(quick = false) ?pool name =
@@ -1107,6 +1217,7 @@ let run_by_name ?(quick = false) ?pool name =
   | "manyflow" ->
     let stats, hist = manyflow_tables ~quick ?pool () in
     Some [ stats; hist ]
+  | "zoo-gauntlet" -> Some [ zoo_gauntlet ~quick ?pool () ]
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -1158,6 +1269,12 @@ let params_one ?(quick = false) name =
           (List.map (fun n -> Float (float_of_int n)) (Manyflow.ns ~quick)) );
       ("per_flow_bw_bps", Float 16000.);
       ("engine", String "soa");
+    ]
+  | "zoo-gauntlet" ->
+    [
+      bw bw_zoo;
+      ( "families",
+        List (List.map (fun (n, _) -> String n) zoo_families) );
     ]
   | _ -> []
 

@@ -63,6 +63,12 @@ val ablation_queue_dynamics : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Tabl
 (** TCP/TFRC throughput ratio under 3:1 vs 10:1 oscillations. *)
 val ablation_10to1_fairness : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
 
+(** The modern-CC protocol zoo (BBR-style, Vegas-style, TCP as yardstick)
+    through the paper's four dynamic scenarios — CBR restart, oscillating
+    bandwidth, flash crowd, designed loss pattern — one row per family,
+    one closed sweep job per (family, scenario) pair. *)
+val zoo_gauntlet : ?quick:bool -> ?pool:Engine.Pool.t -> unit -> Table.t
+
 (** All experiment tables in figure order (ablations included last).
     [emit] is called on each table as soon as it is computed, for
     streaming output during long runs.  [cache]/[now] are as in

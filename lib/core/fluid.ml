@@ -291,18 +291,26 @@ let try_arm t =
       (* Per-flow agreement (at twice the aggregate tolerance — single
          flows are noisier) for every flow carrying a significant share;
          tiny flows can't move the aggregate and their ratios are mostly
-         measurement noise. *)
+         measurement noise.  Auxiliary flows are held to the same test
+         against the p=0 analytic rate they would be frozen at: a
+         reverse-path flow still ramping up is exactly as mis-frozen as
+         a forward one, and it can't hide behind the aggregate check
+         because it never contributes to the watched link. *)
       let ok = ref true in
       Array.iteri
         (fun j s ->
-          if s.scaled then begin
-            let m = measured_slot_bps t j in
-            let a = s.del_pps *. float_of_int s.ops.Cc.Flow.ff_pkt_size in
-            if
-              Float.max m a > 0.05 *. measured
-              && not (in_band ~tol:(2. *. t.cfg.model_tol) m a)
-            then ok := false
-          end)
+          let a =
+            if s.scaled then
+              s.del_pps *. float_of_int s.ops.Cc.Flow.ff_pkt_size
+            else
+              s.ops.Cc.Flow.ff_rate_pps ~p:0.
+              *. float_of_int s.ops.Cc.Flow.ff_pkt_size
+          in
+          let m = measured_slot_bps t j in
+          if
+            Float.max m a > 0.05 *. measured
+            && not (in_band ~tol:(2. *. t.cfg.model_tol) m a)
+          then ok := false)
         t.slots;
       !ok
     in

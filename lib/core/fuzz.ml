@@ -45,6 +45,8 @@ let proto_to_string = function
   | Protocol.Tfrc { k; conservative = true; _ } -> Printf.sprintf "tfrc+sc:%d" k
   | Protocol.Tfrc { k; _ } -> Printf.sprintf "tfrc:%d" k
   | Protocol.Tear rounds -> Printf.sprintf "tear:%d" rounds
+  | Protocol.Bbr -> "bbr"
+  | Protocol.Vegas { alpha; beta } -> Printf.sprintf "vegas:%g-%g" alpha beta
 
 let proto_of_string s =
   match String.split_on_char ':' s with
@@ -66,6 +68,15 @@ let proto_of_string s =
       (int_of_string_opt k)
   | [ "tear"; n ] ->
     Option.map (fun rounds -> Protocol.tear ~rounds) (int_of_string_opt n)
+  | [ "bbr" ] -> Some Protocol.bbr
+  | [ "vegas" ] -> Some (Protocol.vegas ())
+  | [ "vegas"; ab ] -> (
+    match String.split_on_char '-' ab with
+    | [ a; b ] -> (
+      match (float_of_string_opt a, float_of_string_opt b) with
+      | Some alpha, Some beta -> Some (Protocol.vegas ~alpha ~beta ())
+      | _ -> None)
+    | _ -> None)
   | _ -> None
 
 let describe sc =
@@ -205,14 +216,16 @@ let gammas = [| 2.; 4.; 8. |]
 
 let gen_proto rng =
   let gamma () = gammas.(Engine.Rng.int rng (Array.length gammas)) in
-  match Engine.Rng.int rng 7 with
+  match Engine.Rng.int rng 9 with
   | 0 -> Protocol.tcp ~gamma:(gamma ())
   | 1 -> Protocol.tcp_sack ~gamma:(gamma ())
   | 2 -> Protocol.sqrt_ ~gamma:(gamma ())
   | 3 -> Protocol.iiad ~gamma:(gamma ())
   | 4 -> Protocol.rap ~gamma:(gamma ())
   | 5 -> Protocol.tfrc ~k:(1 + Engine.Rng.int rng 8) ()
-  | _ -> Protocol.tear ~rounds:(1 + Engine.Rng.int rng 8)
+  | 6 -> Protocol.tear ~rounds:(1 + Engine.Rng.int rng 8)
+  | 7 -> Protocol.bbr
+  | _ -> Protocol.vegas ()
 
 let generate ~quick seed =
   (* The generator's stream is distinct from the run-time stream seeded

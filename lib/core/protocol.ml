@@ -11,6 +11,8 @@ type t =
       history_discounting : bool;
     }
   | Tear of int
+  | Bbr
+  | Vegas of { alpha : float; beta : float }
 
 let check_gamma gamma =
   if gamma < 1.5 then
@@ -45,6 +47,13 @@ let tear ~rounds =
   if rounds < 1 then invalid_arg "Protocol.tear: rounds >= 1";
   Tear rounds
 
+let bbr = Bbr
+
+let vegas ?(alpha = 2.) ?(beta = 4.) () =
+  if alpha < 0. || beta < alpha then
+    invalid_arg "Protocol.vegas: need 0 <= alpha <= beta";
+  Vegas { alpha; beta }
+
 let name = function
   | Tcp g -> Printf.sprintf "TCP(1/%g)" g
   | Tcp_sack g -> Printf.sprintf "TCP-SACK(1/%g)" g
@@ -54,6 +63,8 @@ let name = function
   | Tfrc { k; conservative; _ } ->
     Printf.sprintf "TFRC(%d)%s" k (if conservative then "+SC" else "")
   | Tear rounds -> Printf.sprintf "TEAR(%d)" rounds
+  | Bbr -> "BBR"
+  | Vegas { alpha; beta } -> Printf.sprintf "VEGAS(%g,%g)" alpha beta
 
 (* Binomial calibration is deterministic and pure; memoize per gamma.
    The caches are shared across domains when scenarios run on a worker
@@ -86,7 +97,7 @@ let window_rule = function
   | Iiad gamma ->
     let a, b = memo iiad_cache (fun ~gamma () -> Analysis.Binomial_calibration.iiad_params ~gamma ()) gamma in
     Cc.Window_cc.binomial ~k:1.0 ~l:0.0 ~a ~b
-  | Rap _ | Tfrc _ | Tear _ ->
+  | Rap _ | Tfrc _ | Tear _ | Bbr | Vegas _ ->
     invalid_arg "Protocol.window_rule: not window-based"
 
 (* Build a flow of protocol [t] between two already-routed nodes; the
@@ -137,6 +148,18 @@ let spawn_between ?(pkt_size = 1000) ?total_pkts ?(ca_start = false) t ~sim
       }
     in
     Cc.Tear.flow (Cc.Tear.create ~sim ~src ~dst ~flow:flow_id cfg)
+  | Bbr ->
+    if total_pkts <> None then
+      invalid_arg "Protocol.spawn: BBR flows are long-lived only";
+    let cfg = { Cc.Bbr.default_config with Cc.Bbr.pkt_size } in
+    Cc.Bbr.flow (Cc.Bbr.create ~sim ~src ~dst ~flow:flow_id cfg)
+  | Vegas { alpha; beta } ->
+    if total_pkts <> None then
+      invalid_arg "Protocol.spawn: Vegas flows are long-lived only";
+    let cfg =
+      { Cc.Vegas.default_config with Cc.Vegas.pkt_size; alpha; beta }
+    in
+    Cc.Vegas.flow (Cc.Vegas.create ~sim ~src ~dst ~flow:flow_id cfg)
 
 let spawn ?(reverse = false) ?(extra_delay = 0.) ?pkt_size ?total_pkts
     ?ca_start t db =

@@ -18,6 +18,10 @@ type t =
       history_discounting : bool;
     }
   | Tear of int  (** receiver-side TCP emulation, smoothing over n rounds *)
+  | Bbr  (** model-based sender: bandwidth/RTT probing state machine, paced *)
+  | Vegas of { alpha : float; beta : float }
+      (** delay-based sender: standing-queue estimation with base-RTT
+          aging and RTT-noise filtering *)
 
 val tcp : gamma:float -> t
 val tcp_sack : gamma:float -> t
@@ -34,6 +38,13 @@ val tfrc :
 
 (** TEAR with [rounds] smoothed windows (the report uses about 8). *)
 val tear : rounds:int -> t
+
+(** BBR-style model-based sender with default configuration. *)
+val bbr : t
+
+(** Vegas-style delay-based sender; [alpha]/[beta] bound the standing
+    queue in packets (defaults 2 and 4). *)
+val vegas : ?alpha:float -> ?beta:float -> unit -> t
 
 val name : t -> string
 

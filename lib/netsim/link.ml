@@ -21,6 +21,16 @@ type t = {
   mutable bytes_out : int;
   mutable drop_hooks : (Packet.t -> unit) list;
   mutable departure_hooks : (Packet.t -> unit) list;
+  (* Per-packet queueing delay (enqueue -> tx-start), observed via a side
+     ring of enqueue timestamps.  Valid because every discipline here is
+     strictly FIFO and drops happen only at enqueue: the k-th timestamp
+     pushed always belongs to the k-th packet dequeued.  Empty hook list
+     means zero cost and no behavior change on the hot path. *)
+  mutable qdelay_hooks : (Packet.t -> float -> unit) list;
+  mutable enq_times : float array;
+  mutable enq_head : int;
+  mutable enq_len : int;
+  mutable qd_skip : int; (* pkts already queued when the first hook landed *)
   (* hot-path event reuse *)
   mutable tx_pkt : Packet.t;  (* the packet currently serializing *)
   mutable tx_done : unit -> unit;
@@ -39,6 +49,35 @@ let rec run_hooks hooks pkt =
   | h :: rest ->
     h pkt;
     run_hooks rest pkt
+
+let rec run_qdelay_hooks hooks pkt delay =
+  match hooks with
+  | [] -> ()
+  | h :: rest ->
+    h pkt delay;
+    run_qdelay_hooks rest pkt delay
+
+let qd_push t time =
+  let cap = Array.length t.enq_times in
+  if t.enq_len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let a = Array.make ncap 0. in
+    for i = 0 to t.enq_len - 1 do
+      a.(i) <- t.enq_times.((t.enq_head + i) land (cap - 1))
+    done;
+    t.enq_times <- a;
+    t.enq_head <- 0
+  end;
+  let mask = Array.length t.enq_times - 1 in
+  t.enq_times.((t.enq_head + t.enq_len) land mask) <- time;
+  t.enq_len <- t.enq_len + 1
+
+let qd_pop t =
+  let mask = Array.length t.enq_times - 1 in
+  let v = t.enq_times.(t.enq_head) in
+  t.enq_head <- (t.enq_head + 1) land mask;
+  t.enq_len <- t.enq_len - 1;
+  v
 
 let flight_push t pkt =
   let cap = Array.length t.flight in
@@ -96,6 +135,12 @@ let transmit_next t =
   match t.queue.Queue_intf.dequeue () with
   | None -> t.busy <- false
   | Some pkt ->
+    if t.qdelay_hooks != [] then begin
+      if t.qd_skip > 0 then t.qd_skip <- t.qd_skip - 1
+      else if t.enq_len > 0 then
+        run_qdelay_hooks t.qdelay_hooks pkt
+          (Engine.Sim.now t.sim -. qd_pop t)
+    end;
     t.busy <- true;
     t.tx_pkt <- pkt;
     Engine.Sim.after t.sim (tx_time t ~bytes:pkt.Packet.size) t.tx_done
@@ -118,6 +163,11 @@ let make ~sim ~bandwidth ~delay ~queue =
       bytes_out = 0;
       drop_hooks = [];
       departure_hooks = [];
+      qdelay_hooks = [];
+      enq_times = [||];
+      enq_head = 0;
+      enq_len = 0;
+      qd_skip = 0;
       tx_pkt = Packet.dummy;
       tx_done = ignore;
       deliver_front = ignore;
@@ -177,6 +227,7 @@ let send t pkt =
        GC and quietly drained the freelist under reverse-path loss. *)
     Packet.release pkt
   | Queue_intf.Enqueued | Queue_intf.Marked ->
+    if t.qdelay_hooks != [] then qd_push t (Engine.Sim.now t.sim);
     if not t.busy then transmit_next t);
   if Engine.Audit.invariants_on () then check_conservation t
 
@@ -252,3 +303,11 @@ let ff_credit t ~delivered ~dropped ~bytes =
 
 let on_drop t hook = t.drop_hooks <- hook :: t.drop_hooks
 let on_departure t hook = t.departure_hooks <- hook :: t.departure_hooks
+
+let on_queue_delay t hook =
+  if t.qdelay_hooks = [] then
+    (* Packets already sitting in the queue were enqueued before we
+       started timestamping; skip exactly that many dequeues so the ring
+       stays aligned with the FIFO order. *)
+    t.qd_skip <- t.queue.Queue_intf.pkts ();
+  t.qdelay_hooks <- hook :: t.qdelay_hooks

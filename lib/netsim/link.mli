@@ -82,3 +82,13 @@ val on_drop : t -> (Packet.t -> unit) -> unit
 
 (** Hook invoked when a packet finishes serialization onto the wire. *)
 val on_departure : t -> (Packet.t -> unit) -> unit
+
+(** [on_queue_delay t hook] invokes [hook pkt delay] when [pkt] starts
+    serializing, where [delay] is the time the packet spent queued
+    (enqueue to tx-start; 0 for a packet that arrived at an idle link).
+    Packets already queued when the first hook is registered are skipped.
+    Purely observational: with no hooks registered the link's behavior
+    and cost are unchanged, and the hook itself must not mutate the
+    simulation mid-event.  Exact because queues are strictly FIFO and
+    drop only at enqueue. *)
+val on_queue_delay : t -> (Packet.t -> float -> unit) -> unit

@@ -85,6 +85,35 @@ let test_shrink_keeps_passing_scenario () =
    invariant auditing on while the scheduler/allocation legs run with it
    off, so zero divergences here also proves auditing does not perturb
    results. *)
+let test_aux_flow_model_gate () =
+  (* Regression (found by the fuzzer, seed 7 of the quick campaign): the
+     hybrid fast-forward leg froze auxiliary (reverse-path) flows at
+     their p=0 analytic rate without passing them through the
+     model-agreement gate, so a reverse TFRC flow still ramping up was
+     frozen at ~1/7th of its real rate and the hybrid leg delivered
+     48 kB where the pure run delivered 332 kB.  With aux slots held to
+     the same per-flow agreement band, every leg agrees again. *)
+  let mk proto rev = { Fuzz.proto; rev; src_site = 0; dst_site = 0 } in
+  let sc =
+    {
+      Fuzz.seed = 7;
+      topology = Fuzz.Dumbbell;
+      queue = Netsim.Dumbbell.Red;
+      bandwidth = 3e6;
+      rtt = 0.02;
+      duration = 3.;
+      flows =
+        [
+          mk (Slowcc.Protocol.tcp ~gamma:2.) false;
+          mk (Slowcc.Protocol.tfrc ~k:2 ()) true;
+          mk (Slowcc.Protocol.iiad ~gamma:4.) false;
+        ];
+    }
+  in
+  match Fuzz.check sc with
+  | None -> ()
+  | Some msg -> Alcotest.failf "legs diverge: %s" msg
+
 let test_small_campaign_clean () =
   Engine.Audit.reset_violations ();
   let report = Fuzz.run_seeds ~quick:true ~seeds:4 () in
@@ -113,5 +142,7 @@ let suite =
       test_repro_file_roundtrip;
     Alcotest.test_case "shrink keeps passing scenario" `Quick
       test_shrink_keeps_passing_scenario;
+    Alcotest.test_case "aux flows pass the model gate" `Quick
+      test_aux_flow_model_gate;
     Alcotest.test_case "small campaign clean" `Quick test_small_campaign_clean;
   ]

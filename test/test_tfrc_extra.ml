@@ -124,8 +124,23 @@ let test_rtt_scaling () =
     true
     (ratio > 1.5 && ratio < 5.)
 
+let test_nofb_recv_rate_dyadic_guard () =
+  (* Regression pin for the no-feedback receive-rate computation: two
+     feedback timers can fire at the same simulated instant (dyadic
+     timestamps collide exactly, not approximately), making the elapsed
+     window 0.  The rate must hold its previous value, never divide by
+     zero into inf/nan. *)
+  Alcotest.(check (float 0.)) "zero elapsed keeps previous" 123.
+    (Cc.Tfrc.nofb_recv_rate ~bytes:4000 ~elapsed:0. ~prev:123.);
+  Alcotest.(check bool) "never non-finite" true
+    (Float.is_finite (Cc.Tfrc.nofb_recv_rate ~bytes:4000 ~elapsed:0. ~prev:0.));
+  Alcotest.(check (float 1e-9)) "positive elapsed divides" 2000.
+    (Cc.Tfrc.nofb_recv_rate ~bytes:4000 ~elapsed:2. ~prev:123.)
+
 let suite =
   [
+    Alcotest.test_case "no-feedback rate dyadic guard" `Quick
+      test_nofb_recv_rate_dyadic_guard;
     Alcotest.test_case "conservative caps burst rate" `Slow
       test_conservative_caps_after_loss_burst;
     Alcotest.test_case "history discounting" `Slow

@@ -169,8 +169,69 @@ let test_two_flows_share_fairly () =
     true
     (ratio > 0.5 && ratio < 2.0)
 
+let test_rto_min_floor_and_backoff_order () =
+  (* Regression pin for the RTO clamp: a low-RTT path (srtt + 4*rttvar
+     far below min_rto) must floor at min_rto, and exponential backoff
+     multiplies the *floored* value — clamping after backoff would leave
+     a backed-off timer stuck at 200 ms. *)
+  let sim, db = db_fixture () in
+  let tcp = spawn sim db in
+  let st = Cc.Window_cc.export_state tcp in
+  Cc.Window_cc.import_state tcp
+    {
+      st with
+      Cc.Window_cc.s_srtt = 0.001;
+      s_rttvar = 0.;
+      s_rtt_valid = true;
+      s_backoff = 1.;
+    };
+  Alcotest.(check (float 1e-12)) "floored at min_rto" 0.2
+    (Cc.Window_cc.rto tcp);
+  Cc.Window_cc.import_state tcp
+    {
+      st with
+      Cc.Window_cc.s_srtt = 0.001;
+      s_rttvar = 0.;
+      s_rtt_valid = true;
+      s_backoff = 4.;
+    };
+  Alcotest.(check (float 1e-12)) "backoff scales the floored value" 0.8
+    (Cc.Window_cc.rto tcp)
+
+let test_karn_rule_on_first_loss () =
+  (* Karn regression: the very first data packet is dropped, so its
+     retransmission goes out ~1 s later (initial RTO).  A sampler that
+     ignored Karn's rule would time the retransmit's ack against the
+     original send and push srtt towards a second; the real estimator
+     must stay pinned near the 50 ms path. *)
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:2 in
+  let make_queue () =
+    Netsim.Loss_pattern.one_per_interval ~sim ~interval:1e9 ~start:0.
+      (Netsim.Droptail.make ~capacity:1000)
+  in
+  let config =
+    {
+      (Netsim.Dumbbell.default_config ~bandwidth:10e6) with
+      Netsim.Dumbbell.queue = Netsim.Dumbbell.Custom make_queue;
+    }
+  in
+  let db = Netsim.Dumbbell.create ~sim ~rng config in
+  let tcp = spawn sim db in
+  (Cc.Window_cc.flow tcp).Cc.Flow.start ();
+  Engine.Sim.run ~until:5. sim;
+  let srtt = Cc.Window_cc.srtt tcp in
+  Alcotest.(check bool)
+    (Printf.sprintf "srtt %.3f not inflated by the retransmit" srtt)
+    true
+    (srtt > 0.04 && srtt < 0.2)
+
 let suite =
   [
+    Alcotest.test_case "rto min floor and backoff order" `Quick
+      test_rto_min_floor_and_backoff_order;
+    Alcotest.test_case "karn rule on first loss" `Quick
+      test_karn_rule_on_first_loss;
     Alcotest.test_case "max window cap" `Quick test_max_window_cap;
     Alcotest.test_case "max window bounds rate" `Quick
       test_max_window_bounds_rate;

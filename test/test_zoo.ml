@@ -1,0 +1,122 @@
+(* The modern-CC protocol zoo: registration of the new families, spawn
+   plumbing, and a directed differential-fuzz campaign that pushes BBR
+   and Vegas flows through both topologies. *)
+
+module Fuzz = Slowcc.Fuzz
+module Protocol = Slowcc.Protocol
+module Experiments = Slowcc.Experiments
+
+let test_registered () =
+  Alcotest.(check bool) "zoo-gauntlet in names" true
+    (List.mem "zoo-gauntlet" Experiments.names);
+  Alcotest.(check bool) "zoo-gauntlet is a unit" true
+    (List.mem "zoo-gauntlet" Experiments.all_units);
+  Alcotest.(check bool) "manifest params recorded" true
+    (Experiments.params ~quick:true "zoo-gauntlet" <> [])
+
+let test_protocol_names () =
+  Alcotest.(check string) "bbr" "BBR" (Protocol.name Protocol.bbr);
+  Alcotest.(check string) "vegas defaults" "VEGAS(2,4)"
+    (Protocol.name (Protocol.vegas ()));
+  Alcotest.(check string) "vegas custom" "VEGAS(1,3)"
+    (Protocol.name (Protocol.vegas ~alpha:1. ~beta:3. ()))
+
+let test_vegas_validation () =
+  Alcotest.check_raises "beta < alpha"
+    (Invalid_argument "Protocol.vegas: need 0 <= alpha <= beta") (fun () ->
+      ignore (Protocol.vegas ~alpha:5. ~beta:2. ()))
+
+let db_fixture () =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed:7 in
+  let db =
+    Netsim.Dumbbell.create ~sim ~rng
+      (Netsim.Dumbbell.default_config ~bandwidth:8e6)
+  in
+  (sim, db)
+
+let test_spawn_both_families () =
+  let sim, db = db_fixture () in
+  let b = Protocol.spawn Protocol.bbr db in
+  let v = Protocol.spawn (Protocol.vegas ()) db in
+  Alcotest.(check string) "bbr flow label" "BBR" b.Cc.Flow.protocol;
+  Alcotest.(check string) "vegas flow label" "VEGAS" v.Cc.Flow.protocol;
+  b.Cc.Flow.start ();
+  v.Cc.Flow.start ();
+  Engine.Sim.run ~until:5. sim;
+  Alcotest.(check bool) "bbr delivers" true
+    (b.Cc.Flow.bytes_delivered () > 100_000.);
+  Alcotest.(check bool) "vegas delivers" true
+    (v.Cc.Flow.bytes_delivered () > 100_000.)
+
+let test_no_finite_transfers () =
+  let _, db = db_fixture () in
+  Alcotest.check_raises "bbr finite transfer"
+    (Invalid_argument "Protocol.spawn: BBR flows are long-lived only")
+    (fun () -> ignore (Protocol.spawn ~total_pkts:5 Protocol.bbr db));
+  Alcotest.check_raises "vegas finite transfer"
+    (Invalid_argument "Protocol.spawn: Vegas flows are long-lived only")
+    (fun () -> ignore (Protocol.spawn ~total_pkts:5 (Protocol.vegas ()) db))
+
+(* Directed scenarios: every seed carries one BBR and one Vegas flow
+   (plus a TCP cross-flow on half of them), alternating dumbbell and
+   parking-lot topologies and cycling the queue disciplines.  Each runs
+   the fuzzer's full differential check — audited baseline vs the other
+   event queue vs fresh shells — so byte-identical digests and zero
+   audit violations across 100 seeds. *)
+let zoo_scenario seed =
+  let hops = 1 + (seed mod 3) in
+  let topology =
+    if seed mod 2 = 0 then Fuzz.Dumbbell else Fuzz.Parking_lot hops
+  in
+  let queue =
+    match seed mod 3 with
+    | 0 -> Netsim.Dumbbell.Red
+    | 1 -> Netsim.Dumbbell.Droptail
+    | _ -> Netsim.Dumbbell.Red_ecn
+  in
+  let flow proto rev src_site dst_site =
+    { Fuzz.proto; rev; src_site; dst_site }
+  in
+  let flows =
+    [
+      flow Protocol.bbr false 0 hops;
+      flow (Protocol.vegas ()) (seed mod 4 = 1) hops 0;
+    ]
+    @ (if seed mod 2 = 1 then [ flow (Protocol.tcp ~gamma:2.) false 0 hops ]
+       else [])
+  in
+  {
+    Fuzz.seed;
+    topology;
+    queue;
+    bandwidth = 2e6 +. (float_of_int (seed mod 4) *. 2e6);
+    rtt = 0.04 +. (0.02 *. float_of_int (seed mod 3));
+    duration = 2.0;
+    flows;
+  }
+
+let test_directed_fuzz_campaign () =
+  Engine.Audit.reset_violations ();
+  for seed = 0 to 99 do
+    let sc = zoo_scenario seed in
+    match Fuzz.check sc with
+    | None -> ()
+    | Some failure ->
+      Alcotest.failf "seed %d (%s): %s" seed (Fuzz.describe sc) failure
+  done;
+  Alcotest.(check int) "no audit violations" 0
+    (Engine.Audit.violation_count ())
+
+let suite =
+  [
+    Alcotest.test_case "experiment registered" `Quick test_registered;
+    Alcotest.test_case "protocol names" `Quick test_protocol_names;
+    Alcotest.test_case "vegas parameter validation" `Quick
+      test_vegas_validation;
+    Alcotest.test_case "spawn both families" `Quick test_spawn_both_families;
+    Alcotest.test_case "finite transfers rejected" `Quick
+      test_no_finite_transfers;
+    Alcotest.test_case "directed fuzz campaign (100 seeds)" `Slow
+      test_directed_fuzz_campaign;
+  ]
